@@ -1,0 +1,57 @@
+//! E6 / E8 / E13 — constructing the certified Baseline isomorphism.
+//!
+//! The constructive algorithm (two union-find sweeps + verification) is
+//! near-linear; the generic backtracking search it replaces is exponential
+//! and only benchmarked at tiny sizes for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use min_bench::{configure, STAGE_SWEEP};
+use min_core::baseline_iso::{baseline_digraph, baseline_isomorphism};
+use min_core::equivalence::equivalence_mapping;
+use min_graph::iso::find_isomorphism;
+use min_networks::{flip, omega};
+
+fn bench_baseline_iso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_isomorphism");
+    for &n in STAGE_SWEEP {
+        let g = omega(n).to_digraph();
+        group.bench_with_input(BenchmarkId::new("constructive_certificate", n), &g, |b, g| {
+            b.iter(|| baseline_isomorphism(std::hint::black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("equivalence_mapping_pair");
+    for &n in STAGE_SWEEP {
+        let a = omega(n).to_digraph();
+        let b_net = flip(n).to_digraph();
+        group.bench_with_input(BenchmarkId::new("omega_vs_flip", n), &(a, b_net), |b, (x, y)| {
+            b.iter(|| equivalence_mapping(std::hint::black_box(x), std::hint::black_box(y)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exhaustive_search_contrast");
+    for &n in &[3usize, 4] {
+        let g = omega(n).to_digraph();
+        let base = baseline_digraph(n);
+        group.bench_with_input(BenchmarkId::new("backtracking", n), &(g, base), |b, (g, base)| {
+            b.iter(|| {
+                assert!(find_isomorphism(
+                    std::hint::black_box(g),
+                    std::hint::black_box(base),
+                    u64::MAX
+                )
+                .is_isomorphic())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_baseline_iso
+}
+criterion_main!(group);

@@ -1,0 +1,54 @@
+//! E9 — the paper's headline corollary as a benchmark.
+//!
+//! Builds the six classical networks and computes the full 6×6 pairwise
+//! equivalence matrix (36 verified certificates) at two sizes, plus the cost
+//! of constructing each network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use min_bench::configure;
+use min_core::equivalence::equivalence_mapping;
+use min_networks::ClassicalNetwork;
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_construction");
+    for &n in &[6usize, 10] {
+        for kind in ClassicalNetwork::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), n),
+                &n,
+                |b, &n| b.iter(|| std::hint::black_box(kind.build(n))),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("catalog_equivalence_matrix");
+    for &n in &[5usize, 7] {
+        let digraphs: Vec<_> = ClassicalNetwork::ALL
+            .iter()
+            .map(|k| k.build(n).to_digraph())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("full_6x6", n), &digraphs, |b, digraphs| {
+            b.iter(|| {
+                let mut ok = 0usize;
+                for a in digraphs {
+                    for bb in digraphs {
+                        if equivalence_mapping(a, bb).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                }
+                assert_eq!(ok, 36);
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_catalog
+}
+criterion_main!(group);

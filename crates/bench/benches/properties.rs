@@ -1,0 +1,57 @@
+//! E3 / E6 / E13 — the P-property sweeps and the Banyan check.
+//!
+//! The incremental union-find sweeps (`P(1,*)`, `P(*,n)`) are near-linear in
+//! the number of arcs and scale to large networks; the exact Banyan check is
+//! quadratic in the number of cells and is swept over the small sizes only —
+//! the crossover is the ablation DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use min_bench::{configure, SMALL_STAGE_SWEEP, STAGE_SWEEP};
+use min_core::properties::{p_one_star, p_property, p_star_n, satisfies_characterization};
+use min_graph::paths::is_banyan;
+use min_networks::omega;
+
+fn bench_properties(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p_properties");
+    for &n in STAGE_SWEEP {
+        let g = omega(n).to_digraph();
+        group.bench_with_input(BenchmarkId::new("p_one_star_sweep", n), &g, |b, g| {
+            b.iter(|| p_one_star(std::hint::black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("p_star_n_sweep", n), &g, |b, g| {
+            b.iter(|| p_star_n(std::hint::black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("p_from_scratch_all", n), &g, |b, g| {
+            b.iter(|| {
+                // The naive alternative: one union-find per prefix.
+                (0..g.stages()).all(|j| p_property(std::hint::black_box(g), 0, j))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("banyan_check");
+    for &n in SMALL_STAGE_SWEEP {
+        let g = omega(n).to_digraph();
+        group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+            b.iter(|| is_banyan(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("full_characterization");
+    for &n in SMALL_STAGE_SWEEP {
+        let g = omega(n).to_digraph();
+        group.bench_with_input(BenchmarkId::new("banyan_plus_p", n), &g, |b, g| {
+            b.iter(|| satisfies_characterization(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_properties
+}
+criterion_main!(group);

@@ -1,0 +1,69 @@
+//! E11 / E12 — routing-layer costs.
+//!
+//! Self-routing table construction, single-path extraction, full-permutation
+//! conflict analysis and the admissibility censuses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use min_bench::{configure, BENCH_SEED, STAGE_SWEEP};
+use min_networks::{baseline, omega};
+use min_routing::analysis::{admissibility_exhaustive, admissibility_monte_carlo};
+use min_routing::path::route_terminals;
+use min_routing::permutation_routing::permutation_conflicts;
+use min_routing::tag::destination_tags;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("self_routing_table");
+    for &n in STAGE_SWEEP {
+        let net = omega(n);
+        group.bench_with_input(BenchmarkId::new("destination_tags", n), &net, |b, net| {
+            b.iter(|| destination_tags(std::hint::black_box(net)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("single_path");
+    for &n in STAGE_SWEEP {
+        let net = baseline(n);
+        let terminals = net.terminals() as u64;
+        group.bench_with_input(BenchmarkId::new("route_terminals", n), &net, |b, net| {
+            b.iter(|| route_terminals(std::hint::black_box(net), 1, terminals - 2).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("permutation_conflicts");
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    for &n in &[4usize, 6, 8] {
+        let net = omega(n);
+        let mut perm: Vec<u64> = (0..net.terminals() as u64).collect();
+        perm.shuffle(&mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("full_permutation", n),
+            &(net, perm),
+            |b, (net, perm)| b.iter(|| permutation_conflicts(std::hint::black_box(net), perm)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("admissibility_census");
+    group.bench_function("exhaustive_N8", |b| {
+        let net = omega(3);
+        b.iter(|| admissibility_exhaustive(std::hint::black_box(&net)))
+    });
+    group.bench_function("monte_carlo_1000_N32", |b| {
+        let net = omega(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+        b.iter(|| admissibility_monte_carlo(std::hint::black_box(&net), 1_000, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_routing
+}
+criterion_main!(group);

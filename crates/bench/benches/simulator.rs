@@ -1,0 +1,83 @@
+//! E12 — switch-level simulation throughput.
+//!
+//! Measures simulated cycles per second for the unbuffered and buffered cell
+//! models under uniform and hot-spot traffic, across the catalog — the
+//! "behavioural interchangeability" experiment and the buffering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use min_bench::{configure, BENCH_SEED};
+use min_networks::ClassicalNetwork;
+use min_sim::{simulate, BufferMode, SimConfig, TrafficPattern};
+
+const SIM_CYCLES: u64 = 300;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_catalog");
+    group.throughput(Throughput::Elements(SIM_CYCLES));
+    let n = 6;
+    for kind in ClassicalNetwork::ALL {
+        let net = kind.build(n);
+        group.bench_with_input(
+            BenchmarkId::new(kind.name().replace(' ', "_"), n),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let cfg = SimConfig::default()
+                        .with_load(0.9)
+                        .with_cycles(SIM_CYCLES, 0)
+                        .with_seed(BENCH_SEED);
+                    simulate(net.clone(), cfg).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("simulator_ablation");
+    group.throughput(Throughput::Elements(SIM_CYCLES));
+    let net = min_networks::omega(6);
+    let scenarios: Vec<(&str, SimConfig)> = vec![
+        (
+            "unbuffered_uniform",
+            SimConfig::default().with_load(1.0).with_cycles(SIM_CYCLES, 0),
+        ),
+        (
+            "fifo4_uniform",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(SIM_CYCLES, 0)
+                .with_buffer(BufferMode::Fifo(4)),
+        ),
+        (
+            "unbuffered_hotspot",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(SIM_CYCLES, 0)
+                .with_traffic(TrafficPattern::Hotspot {
+                    fraction: 0.25,
+                    target: 0,
+                }),
+        ),
+        (
+            "fifo4_bitreversal",
+            SimConfig::default()
+                .with_load(0.8)
+                .with_cycles(SIM_CYCLES, 0)
+                .with_buffer(BufferMode::Fifo(4))
+                .with_traffic(TrafficPattern::BitReversal),
+        ),
+    ];
+    for (name, cfg) in scenarios {
+        group.bench_with_input(BenchmarkId::new(name, 6), &cfg, |b, cfg| {
+            b.iter(|| simulate(net.clone(), cfg.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_simulator
+}
+criterion_main!(group);

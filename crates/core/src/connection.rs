@@ -1,0 +1,318 @@
+//! Connections `(f, g)` between two consecutive stages.
+//!
+//! Paper, §3: *"a connection `(f, g)` between the i-th stage and the
+//! (i+1)-st stage of the MI-digraph `G` is a pair of functions `f` and `g`
+//! defined on `Z_2^{n-1}` such that, if `x` is a node of the i-th stage then
+//! the two children of `x` in the (i+1)-st stage are `f(x)` and `g(x)`."*
+//!
+//! [`Connection`] stores the two function tables explicitly. Constructors
+//! exist for closures, for affine pairs, for PIPID stages (§4) and for
+//! arbitrary link permutations (the classical way of drawing a MIN stage,
+//! Fig. 4).
+
+use min_labels::{all_labels, mask, AffineMap, Label, Permutation, Width};
+use serde::{Deserialize, Serialize};
+
+/// A connection `(f, g)` on cell labels of `width` bits.
+///
+/// The domain is `Z_2^width` (i.e. `2^width` cells per stage); `f(x)` and
+/// `g(x)` are the two children of cell `x`. `f(x) = g(x)` is allowed — that
+/// is the degenerate parallel-link situation of the paper's Fig. 5 — and is
+/// reported by [`Connection::has_parallel_links`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Connection {
+    width: Width,
+    f: Vec<u32>,
+    g: Vec<u32>,
+}
+
+impl Connection {
+    /// Builds a connection from explicit tables.
+    pub fn from_tables(width: Width, f: Vec<u32>, g: Vec<u32>) -> Self {
+        min_labels::check_width(width);
+        let n = 1usize << width;
+        assert_eq!(f.len(), n, "f must have 2^width entries");
+        assert_eq!(g.len(), n, "g must have 2^width entries");
+        assert!(
+            f.iter().chain(g.iter()).all(|&y| (y as usize) < n),
+            "images must be valid cell labels"
+        );
+        Connection { width, f, g }
+    }
+
+    /// Builds a connection from two closures.
+    pub fn from_fn<F, G>(width: Width, f: F, g: G) -> Self
+    where
+        F: Fn(Label) -> Label,
+        G: Fn(Label) -> Label,
+    {
+        let m = mask(width);
+        let ft = all_labels(width).map(|x| (f(x) & m) as u32).collect();
+        let gt = all_labels(width).map(|x| (g(x) & m) as u32).collect();
+        Connection {
+            width,
+            f: ft,
+            g: gt,
+        }
+    }
+
+    /// Builds the connection induced by a permutation of the `2^{width+1}`
+    /// **link** labels (paper, §4 / Fig. 4).
+    ///
+    /// The two out-links of cell `x` carry the labels `2x` and `2x + 1`; the
+    /// permutation `A` maps out-link labels to in-link labels of the next
+    /// stage, and the cell incident to an in-link is given by its `width`
+    /// high-order digits, i.e. `A(2x + b) >> 1`.
+    pub fn from_link_permutation(perm: &Permutation) -> Self {
+        assert!(perm.width() >= 1, "a link permutation needs at least 1 digit");
+        let width = perm.width() - 1;
+        let f = all_labels(width).map(|x| (perm.apply(2 * x) >> 1) as u32).collect();
+        let g = all_labels(width)
+            .map(|x| (perm.apply(2 * x + 1) >> 1) as u32)
+            .collect();
+        Connection { width, f, g }
+    }
+
+    /// Builds the connection `(f, f ⊕ difference)` from an affine map — by
+    /// the affine characterization (see [`crate::affine_form`]) every such
+    /// connection is independent.
+    pub fn from_affine(f: &AffineMap, difference: Label) -> Self {
+        assert_eq!(
+            f.width_in(),
+            f.width_out(),
+            "a stage connection maps a stage onto an equal-sized stage"
+        );
+        let width = f.width_in();
+        let d = difference & mask(width);
+        Connection {
+            width,
+            f: all_labels(width).map(|x| f.apply(x) as u32).collect(),
+            g: all_labels(width).map(|x| (f.apply(x) ^ d) as u32).collect(),
+        }
+    }
+
+    /// Cell-label width (the paper's `n-1`).
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Number of cells per stage, `2^width`.
+    pub fn cells(&self) -> usize {
+        1usize << self.width
+    }
+
+    /// `f(x)`.
+    #[inline]
+    pub fn f(&self, x: Label) -> Label {
+        self.f[x as usize] as Label
+    }
+
+    /// `g(x)`.
+    #[inline]
+    pub fn g(&self, x: Label) -> Label {
+        self.g[x as usize] as Label
+    }
+
+    /// The two children `{f(x), g(x)}` of cell `x` (possibly equal).
+    #[inline]
+    pub fn children(&self, x: Label) -> [Label; 2] {
+        [self.f(x), self.g(x)]
+    }
+
+    /// Raw `f` table.
+    pub fn f_table(&self) -> &[u32] {
+        &self.f
+    }
+
+    /// Raw `g` table.
+    pub fn g_table(&self) -> &[u32] {
+        &self.g
+    }
+
+    /// `true` when some cell has `f(x) = g(x)` (two parallel links towards a
+    /// single child — the degenerate situation of Fig. 5, which destroys the
+    /// Banyan property).
+    pub fn has_parallel_links(&self) -> bool {
+        self.f.iter().zip(self.g.iter()).any(|(a, b)| a == b)
+    }
+
+    /// In-degree histogram of the target stage: `indegree[y]` counts how many
+    /// arcs enter cell `y`.
+    pub fn indegrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.cells()];
+        for &y in self.f.iter().chain(self.g.iter()) {
+            d[y as usize] += 1;
+        }
+        d
+    }
+
+    /// `true` when every target cell has in-degree exactly 2 (the regularity
+    /// demanded of interior MI-digraph stages).
+    pub fn is_two_regular(&self) -> bool {
+        self.indegrees().iter().all(|&d| d == 2)
+    }
+
+    /// The constant difference `f ⊕ g` if it is constant, `None` otherwise.
+    ///
+    /// Lemma 2 observes that for independent connections
+    /// `f(x) ⊕ g(x) = f(y) ⊕ g(y)` for all `x, y`; this accessor is the
+    /// corresponding diagnostic.
+    pub fn constant_difference(&self) -> Option<Label> {
+        let d0 = self.f(0) ^ self.g(0);
+        if all_labels(self.width).all(|x| self.f(x) ^ self.g(x) == d0) {
+            Some(d0)
+        } else {
+            None
+        }
+    }
+
+    /// Exchanges the roles of `f` and `g` (the induced digraph is unchanged).
+    pub fn swapped(&self) -> Connection {
+        Connection {
+            width: self.width,
+            f: self.g.clone(),
+            g: self.f.clone(),
+        }
+    }
+
+    /// Applies a relabelling `σ` to the *source* stage: the new connection is
+    /// `(f ∘ σ, g ∘ σ)`.
+    pub fn precompose(&self, sigma: &Permutation) -> Connection {
+        assert_eq!(sigma.width(), self.width, "widths must match");
+        Connection {
+            width: self.width,
+            f: all_labels(self.width)
+                .map(|x| self.f[sigma.apply(x) as usize])
+                .collect(),
+            g: all_labels(self.width)
+                .map(|x| self.g[sigma.apply(x) as usize])
+                .collect(),
+        }
+    }
+
+    /// Applies a relabelling `σ` to the *target* stage: the new connection is
+    /// `(σ ∘ f, σ ∘ g)`.
+    pub fn postcompose(&self, sigma: &Permutation) -> Connection {
+        assert_eq!(sigma.width(), self.width, "widths must match");
+        Connection {
+            width: self.width,
+            f: self.f.iter().map(|&y| sigma.apply(y as u64) as u32).collect(),
+            g: self.g.iter().map(|&y| sigma.apply(y as u64) as u32).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use min_labels::IndexPermutation;
+
+    /// The first Baseline stage at width 2: f(x) = x >> 1, g(x) = (x>>1)|2.
+    fn baseline_stage0() -> Connection {
+        Connection::from_fn(2, |x| x >> 1, |x| (x >> 1) | 0b10)
+    }
+
+    #[test]
+    fn from_fn_and_tables_agree() {
+        let a = baseline_stage0();
+        let b = Connection::from_tables(2, vec![0, 0, 1, 1], vec![2, 2, 3, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.children(1), [0, 2]);
+        assert_eq!(a.cells(), 4);
+    }
+
+    #[test]
+    fn link_permutation_derivation_matches_paper_formula() {
+        // Perfect shuffle on 3-digit links: child cell of x on port b is
+        // (2x + b) mod 4 — the textbook Omega stage.
+        let sigma = IndexPermutation::perfect_shuffle(3);
+        let perm = Permutation::from_index_perm(&sigma);
+        let conn = Connection::from_link_permutation(&perm);
+        assert_eq!(conn.width(), 2);
+        for x in 0..4u64 {
+            assert_eq!(conn.f(x), (2 * x) % 4);
+            assert_eq!(conn.g(x), (2 * x + 1) % 4);
+        }
+        assert!(conn.is_two_regular());
+        assert!(!conn.has_parallel_links());
+    }
+
+    #[test]
+    fn degenerate_link_permutation_produces_parallel_links() {
+        // A permutation fixing digit 0 (θ⁻¹(0) = 0) sends both out-links of
+        // a cell to the same child: Fig. 5.
+        let theta = IndexPermutation::transposition(3, 1, 2);
+        let perm = Permutation::from_index_perm(&theta);
+        let conn = Connection::from_link_permutation(&perm);
+        assert!(conn.has_parallel_links());
+        for x in 0..4u64 {
+            assert_eq!(conn.f(x), conn.g(x));
+        }
+    }
+
+    #[test]
+    fn from_affine_builds_constant_difference_pairs() {
+        let aff = AffineMap::identity(3);
+        let conn = Connection::from_affine(&aff, 0b101);
+        assert_eq!(conn.constant_difference(), Some(0b101));
+        for x in 0..8u64 {
+            assert_eq!(conn.f(x), x);
+            assert_eq!(conn.g(x), x ^ 0b101);
+        }
+        assert!(conn.is_two_regular());
+    }
+
+    #[test]
+    fn constant_difference_detects_non_constant_pairs() {
+        let conn = Connection::from_fn(2, |x| x, |x| if x == 0 { 1 } else { x ^ 1 });
+        // f ⊕ g is 1 everywhere except at x = 0 and 1 where it is 1 as well;
+        // build a genuinely non-constant example instead:
+        let conn2 = Connection::from_fn(2, |x| x, |x| if x < 2 { x ^ 1 } else { x ^ 2 });
+        assert_eq!(conn.constant_difference(), Some(1));
+        assert_eq!(conn2.constant_difference(), None);
+    }
+
+    #[test]
+    fn indegree_accounting() {
+        let conn = baseline_stage0();
+        assert_eq!(conn.indegrees(), vec![2, 2, 2, 2]);
+        assert!(conn.is_two_regular());
+        let skew = Connection::from_fn(2, |_| 0, |x| x);
+        assert_eq!(skew.indegrees(), vec![5, 1, 1, 1]);
+        assert!(!skew.is_two_regular());
+    }
+
+    #[test]
+    fn swapped_exchanges_roles() {
+        let conn = baseline_stage0();
+        let sw = conn.swapped();
+        for x in 0..4u64 {
+            assert_eq!(conn.f(x), sw.g(x));
+            assert_eq!(conn.g(x), sw.f(x));
+        }
+    }
+
+    #[test]
+    fn pre_and_post_composition_relabel_the_right_side() {
+        let conn = baseline_stage0();
+        let sigma = Permutation::from_fn(2, |x| x ^ 0b11);
+        let pre = conn.precompose(&sigma);
+        let post = conn.postcompose(&sigma);
+        for x in 0..4u64 {
+            assert_eq!(pre.f(x), conn.f(x ^ 0b11));
+            assert_eq!(post.f(x), conn.f(x) ^ 0b11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^width entries")]
+    fn from_tables_rejects_wrong_sizes() {
+        let _ = Connection::from_tables(2, vec![0, 1], vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid cell labels")]
+    fn from_tables_rejects_out_of_range_images() {
+        let _ = Connection::from_tables(1, vec![0, 3], vec![1, 0]);
+    }
+}

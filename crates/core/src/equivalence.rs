@@ -1,0 +1,116 @@
+//! Topological equivalence between arbitrary MI-digraphs.
+//!
+//! Two Baseline-equivalent networks are equivalent to each other; composing
+//! their certificates ([`crate::baseline_iso`]) yields the explicit
+//! network-to-network node bijection — the analogue of the one-to-one
+//! mappings Wu & Feng exhibited by hand for the six classical networks.
+
+use crate::baseline_iso::baseline_isomorphism;
+use crate::error::EquivalenceError;
+use min_graph::iso::{compose_mappings, invert_mapping, verify_stage_mapping, StageMapping};
+use min_graph::MiDigraph;
+
+/// Computes an explicit stage-respecting isomorphism `g → h` by composing
+/// the Baseline certificates of both digraphs.
+///
+/// Fails with the diagnosis of whichever digraph is not Baseline-equivalent
+/// (or with [`EquivalenceError::ShapeMismatch`] when the sizes differ). The
+/// returned mapping is verified before being returned.
+pub fn equivalence_mapping(g: &MiDigraph, h: &MiDigraph) -> Result<StageMapping, EquivalenceError> {
+    if g.stages() != h.stages() || g.width() != h.width() {
+        return Err(EquivalenceError::ShapeMismatch);
+    }
+    let cg = baseline_isomorphism(g)?;
+    let ch = baseline_isomorphism(h)?;
+    // g --cg--> Baseline --ch⁻¹--> h
+    let mapping = compose_mappings(&cg.mapping, &invert_mapping(&ch.mapping));
+    if !verify_stage_mapping(g, h, &mapping) {
+        return Err(EquivalenceError::VerificationFailed);
+    }
+    Ok(mapping)
+}
+
+/// `true` when the two digraphs are topologically equivalent (both are
+/// Baseline-equivalent and of the same size).
+///
+/// Note: this is *not* a general isomorphism test — two non-Baseline
+/// digraphs may be isomorphic to each other; use
+/// [`min_graph::iso::find_isomorphism`] for the general (exponential) search.
+pub fn are_equivalent(g: &MiDigraph, h: &MiDigraph) -> bool {
+    equivalence_mapping(g, h).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_iso::baseline_digraph;
+    use crate::connection::Connection;
+    use crate::network::ConnectionNetwork;
+    use min_labels::{IndexPermutation, Permutation};
+
+    fn omega(n: usize) -> MiDigraph {
+        let sigma = IndexPermutation::perfect_shuffle(n);
+        let conn = Connection::from_link_permutation(&Permutation::from_index_perm(&sigma));
+        ConnectionNetwork::new(n - 1, vec![conn; n - 1]).to_digraph()
+    }
+
+    fn flip(n: usize) -> MiDigraph {
+        let sigma = IndexPermutation::inverse_shuffle(n);
+        let conn = Connection::from_link_permutation(&Permutation::from_index_perm(&sigma));
+        ConnectionNetwork::new(n - 1, vec![conn; n - 1]).to_digraph()
+    }
+
+    #[test]
+    fn omega_is_equivalent_to_baseline_with_an_explicit_mapping() {
+        for n in 2..=6 {
+            let g = omega(n);
+            let b = baseline_digraph(n);
+            let m = equivalence_mapping(&g, &b).expect("equivalent");
+            assert!(verify_stage_mapping(&g, &b, &m));
+            assert!(are_equivalent(&g, &b));
+        }
+    }
+
+    #[test]
+    fn omega_and_flip_are_equivalent_to_each_other() {
+        for n in 2..=6 {
+            let g = omega(n);
+            let h = flip(n);
+            let m = equivalence_mapping(&g, &h).expect("equivalent");
+            assert!(verify_stage_mapping(&g, &h, &m));
+        }
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric_on_the_catalog() {
+        let g = omega(4);
+        let h = flip(4);
+        assert!(are_equivalent(&g, &g));
+        assert!(are_equivalent(&g, &h));
+        assert!(are_equivalent(&h, &g));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let g = omega(3);
+        let h = omega(4);
+        assert_eq!(
+            equivalence_mapping(&g, &h),
+            Err(EquivalenceError::ShapeMismatch)
+        );
+        assert!(!are_equivalent(&g, &h));
+    }
+
+    #[test]
+    fn non_equivalent_networks_are_reported_with_their_diagnosis() {
+        let g = omega(3);
+        // Replace the last stage with the degenerate parallel-link stage.
+        let sigma = IndexPermutation::perfect_shuffle(3);
+        let conn = Connection::from_link_permutation(&Permutation::from_index_perm(&sigma));
+        let degenerate = Connection::from_fn(2, |x| x, |x| x);
+        let h = ConnectionNetwork::new(2, vec![conn, degenerate]).to_digraph();
+        let err = equivalence_mapping(&g, &h).unwrap_err();
+        assert_ne!(err, EquivalenceError::ShapeMismatch);
+        assert!(!are_equivalent(&g, &h));
+    }
+}

@@ -1,0 +1,193 @@
+//! Error types shared by the crate.
+
+/// Why a connection could not be reversed by Proposition 1's construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReverseError {
+    /// Some target node does not have exactly two incoming arcs, so the
+    /// reverse adjacency cannot be decomposed into a pair of functions.
+    NotTwoRegular {
+        /// The offending node of the target stage.
+        node: u64,
+        /// Its in-degree.
+        indegree: usize,
+    },
+    /// The vertex types are mixed in a way Proposition 1 proves impossible
+    /// for independent connections: some vertex is of type `(f,g)` while
+    /// another is of type `(f,f)` or `(g,g)`. The input connection cannot be
+    /// independent.
+    MixedVertexTypes,
+    /// In the `(f,f)/(g,g)` case the construction needs a non-zero `α₁` with
+    /// `f(x ⊕ α₁) = f(x)`, but `f` is injective: inconsistent input.
+    MissingAlphaOne,
+    /// The A/B coset decomposition did not split the parents of every node
+    /// one-and-one; the input connection is not independent.
+    UnbalancedCosets {
+        /// The offending node of the target stage.
+        node: u64,
+    },
+}
+
+impl std::fmt::Display for ReverseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReverseError::NotTwoRegular { node, indegree } => write!(
+                f,
+                "node {node} of the target stage has in-degree {indegree}, expected 2"
+            ),
+            ReverseError::MixedVertexTypes => write!(
+                f,
+                "vertex types (f,g) and (f,f)/(g,g) are mixed; the connection is not independent"
+            ),
+            ReverseError::MissingAlphaOne => write!(
+                f,
+                "no non-zero α₁ with f(α₁) = f(0) exists although f is not a bijection paired with g"
+            ),
+            ReverseError::UnbalancedCosets { node } => write!(
+                f,
+                "node {node} does not have exactly one parent in each coset A and B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReverseError {}
+
+/// Why a digraph failed to produce a Baseline-equivalence certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceError {
+    /// The digraph does not have `2^{stages-1}` nodes per stage, so it is not
+    /// an MI-digraph in the sense of the paper.
+    WrongWidth {
+        /// Number of stages.
+        stages: usize,
+        /// Actual nodes per stage.
+        width: usize,
+    },
+    /// Some interior node violates the 2-in/2-out regularity requirement.
+    NotTwoRegular,
+    /// A `P(i, n)` (suffix) property fails: the number of components of the
+    /// suffix sub-digraph is not the required power of two.
+    SuffixComponentCount {
+        /// 0-based first stage of the suffix.
+        stage: usize,
+        /// Expected number of components.
+        expected: usize,
+        /// Actual number of components.
+        actual: usize,
+    },
+    /// A `P(1, j)` (prefix) property fails.
+    PrefixComponentCount {
+        /// 0-based last stage of the prefix.
+        stage: usize,
+        /// Expected number of components.
+        expected: usize,
+        /// Actual number of components.
+        actual: usize,
+    },
+    /// A component of the suffix/prefix trie does not split into exactly two
+    /// sub-components at the next level.
+    ComponentTreeNotBinary {
+        /// 0-based stage at which the split was examined.
+        stage: usize,
+        /// `true` when the failure is on the suffix (high-bit) trie.
+        suffix: bool,
+    },
+    /// The candidate labelling collides: two nodes of one stage received the
+    /// same (high, low) label, so the graph cannot be Baseline-equivalent.
+    LabelCollision {
+        /// Stage at which the collision occurred.
+        stage: usize,
+    },
+    /// The relabelled digraph does not coincide with the Baseline digraph
+    /// (final arc-by-arc verification failed).
+    VerificationFailed,
+    /// The two digraphs compared have different numbers of stages or widths.
+    ShapeMismatch,
+    /// The digraph is not Banyan (required by the characterization theorem).
+    NotBanyan,
+}
+
+impl std::fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceError::WrongWidth { stages, width } => write!(
+                f,
+                "an MI-digraph with {stages} stages must have 2^{} nodes per stage, found {width}",
+                stages - 1
+            ),
+            EquivalenceError::NotTwoRegular => {
+                write!(f, "some interior node is not 2-in/2-out regular")
+            }
+            EquivalenceError::SuffixComponentCount {
+                stage,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "P(*, n) fails at stage {stage}: expected {expected} components, found {actual}"
+            ),
+            EquivalenceError::PrefixComponentCount {
+                stage,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "P(1, *) fails at stage {stage}: expected {expected} components, found {actual}"
+            ),
+            EquivalenceError::ComponentTreeNotBinary { stage, suffix } => write!(
+                f,
+                "the {} component trie does not split binarily at stage {stage}",
+                if *suffix { "suffix" } else { "prefix" }
+            ),
+            EquivalenceError::LabelCollision { stage } => {
+                write!(f, "two nodes of stage {stage} received the same canonical label")
+            }
+            EquivalenceError::VerificationFailed => {
+                write!(f, "final verification of the canonical relabelling failed")
+            }
+            EquivalenceError::ShapeMismatch => {
+                write!(f, "the digraphs have different stage counts or widths")
+            }
+            EquivalenceError::NotBanyan => write!(f, "the digraph is not Banyan"),
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ReverseError::NotTwoRegular {
+            node: 3,
+            indegree: 1,
+        };
+        assert!(e.to_string().contains("in-degree 1"));
+        let e = EquivalenceError::WrongWidth {
+            stages: 4,
+            width: 7,
+        };
+        assert!(e.to_string().contains("2^3"));
+        let e = EquivalenceError::SuffixComponentCount {
+            stage: 2,
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = EquivalenceError::ComponentTreeNotBinary {
+            stage: 1,
+            suffix: false,
+        };
+        assert!(e.to_string().contains("prefix"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&ReverseError::MixedVertexTypes);
+        assert_err(&EquivalenceError::NotBanyan);
+    }
+}

@@ -1,0 +1,274 @@
+//! Independent connections (paper, §3).
+//!
+//! > **Definition.** A connection `(f, g)` is *independent* if and only if
+//! > for every `α ≠ (0,…,0)` there exists `β` such that for every `x`,
+//! > `f(x ⊕ α) = β ⊕ f(x)` and `g(x ⊕ α) = β ⊕ g(x)`.
+//!
+//! Two checkers are provided:
+//!
+//! * [`is_independent_naive`] applies the definition verbatim — every `α`,
+//!   every `x` — in `O(N²)`. It exists as the ground truth against which the
+//!   fast checkers are property-tested.
+//! * [`is_independent`] / [`independence_certificate`] exploit the closure of
+//!   the defining property under `⊕` of the `α`'s: if `α₁` and `α₂` admit
+//!   translation vectors `β₁` and `β₂`, then `α₁ ⊕ α₂` admits `β₁ ⊕ β₂`.
+//!   Checking the `n-1` canonical basis vectors therefore suffices, giving
+//!   `O(N·n)` with an explicit certificate: the β-vector of every basis
+//!   direction (equivalently, the linear part of `f` — see
+//!   [`crate::affine_form`]).
+
+use crate::connection::Connection;
+use min_labels::{all_labels, Label};
+
+/// The per-basis-direction translation vectors proving independence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndependenceCertificate {
+    /// Cell-label width.
+    pub width: usize,
+    /// `beta[j]` is the β associated with the basis vector `e_j = 2^j`.
+    /// The β of an arbitrary `α` is the XOR of the `beta[j]` over the set
+    /// bits of `α`.
+    pub beta: Vec<Label>,
+}
+
+impl IndependenceCertificate {
+    /// Reconstructs the β associated with an arbitrary `α`.
+    pub fn beta_for(&self, alpha: Label) -> Label {
+        let mut acc = 0u64;
+        let mut rest = alpha;
+        while rest != 0 {
+            let j = rest.trailing_zeros() as usize;
+            acc ^= self.beta[j];
+            rest &= rest - 1;
+        }
+        acc
+    }
+
+    /// Verifies the certificate against a connection (both `f` and `g`, every
+    /// `α`, every `x`). Quadratic; intended for tests and audits.
+    pub fn verify(&self, conn: &Connection) -> bool {
+        if conn.width() != self.width {
+            return false;
+        }
+        for alpha in all_labels(self.width) {
+            let beta = self.beta_for(alpha);
+            for x in all_labels(self.width) {
+                if conn.f(x ^ alpha) != beta ^ conn.f(x) || conn.g(x ^ alpha) != beta ^ conn.g(x) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A concrete violation of the independence definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndependenceViolation {
+    /// The offending translation `α`.
+    pub alpha: Label,
+    /// The β that was forced by evaluating the definition at `x = 0`.
+    pub beta: Label,
+    /// A point where the definition fails for that `(α, β)`.
+    pub x: Label,
+    /// `true` when the failure is on `g` (otherwise on `f`).
+    pub on_g: bool,
+}
+
+/// Literal `O(N²)` implementation of the definition.
+pub fn is_independent_naive(conn: &Connection) -> bool {
+    let width = conn.width();
+    for alpha in all_labels(width).skip(1) {
+        // If any β works, the one forced by x = 0 works: β = f(α) ⊕ f(0).
+        let beta = conn.f(alpha) ^ conn.f(0);
+        let ok = all_labels(width).all(|x| {
+            conn.f(x ^ alpha) == beta ^ conn.f(x) && conn.g(x ^ alpha) == beta ^ conn.g(x)
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Fast `O(N·n)` independence check.
+pub fn is_independent(conn: &Connection) -> bool {
+    independence_certificate(conn).is_ok()
+}
+
+/// Fast `O(N·n)` independence check returning either a certificate or a
+/// violation witness.
+///
+/// The check verifies the definition for the `width` canonical basis vectors
+/// only; by closure under `⊕` (see the module documentation) this is
+/// equivalent to the full definition, and the returned certificate can be
+/// audited exhaustively with [`IndependenceCertificate::verify`].
+pub fn independence_certificate(
+    conn: &Connection,
+) -> Result<IndependenceCertificate, IndependenceViolation> {
+    let width = conn.width();
+    let mut beta = Vec::with_capacity(width);
+    for j in 0..width {
+        let alpha = 1u64 << j;
+        let b = conn.f(alpha) ^ conn.f(0);
+        for x in all_labels(width) {
+            if conn.f(x ^ alpha) != b ^ conn.f(x) {
+                return Err(IndependenceViolation {
+                    alpha,
+                    beta: b,
+                    x,
+                    on_g: false,
+                });
+            }
+            if conn.g(x ^ alpha) != b ^ conn.g(x) {
+                return Err(IndependenceViolation {
+                    alpha,
+                    beta: b,
+                    x,
+                    on_g: true,
+                });
+            }
+        }
+        beta.push(b);
+    }
+    Ok(IndependenceCertificate { width, beta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use min_labels::{AffineMap, IndexPermutation, LinearMap, Permutation};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn baseline_stage0(width: usize) -> Connection {
+        let top = 1u64 << (width - 1);
+        Connection::from_fn(width, |x| x >> 1, move |x| (x >> 1) | top)
+    }
+
+    #[test]
+    fn baseline_stage_is_independent() {
+        for width in 1..=6 {
+            let conn = baseline_stage0(width);
+            assert!(is_independent_naive(&conn));
+            assert!(is_independent(&conn));
+            let cert = independence_certificate(&conn).unwrap();
+            assert!(cert.verify(&conn));
+        }
+    }
+
+    #[test]
+    fn omega_stage_is_independent() {
+        let sigma = IndexPermutation::perfect_shuffle(4);
+        let conn = Connection::from_link_permutation(&Permutation::from_index_perm(&sigma));
+        assert!(is_independent_naive(&conn));
+        let cert = independence_certificate(&conn).unwrap();
+        assert!(cert.verify(&conn));
+    }
+
+    #[test]
+    fn affine_connections_are_independent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        for _ in 0..20 {
+            let aff = AffineMap::random(4, 4, &mut rng);
+            let conn = Connection::from_affine(&aff, 0b0110);
+            assert!(is_independent(&conn));
+            assert!(is_independent_naive(&conn));
+        }
+    }
+
+    #[test]
+    fn degenerate_equal_pair_is_still_independent() {
+        // f = g (difference 0) satisfies the definition; the *Banyan*
+        // property is what rules such stages out, not independence.
+        let aff = AffineMap::identity(3);
+        let conn = Connection::from_affine(&aff, 0);
+        assert!(conn.has_parallel_links());
+        assert!(is_independent(&conn));
+    }
+
+    #[test]
+    fn non_affine_connection_is_rejected_with_witness() {
+        // f is a non-linear bijection (a swap of two table entries of the
+        // identity), g = f ⊕ 1.
+        let table: [u64; 8] = [0, 1, 2, 5, 4, 3, 6, 7];
+        let conn = Connection::from_fn(
+            3,
+            move |x| table[x as usize],
+            move |x| table[x as usize] ^ 1,
+        );
+        assert!(!is_independent_naive(&conn));
+        assert!(!is_independent(&conn));
+        let violation = independence_certificate(&conn).unwrap_err();
+        // The witness must indeed violate the definition.
+        let lhs = if violation.on_g {
+            conn.g(violation.x ^ violation.alpha)
+        } else {
+            conn.f(violation.x ^ violation.alpha)
+        };
+        let rhs = if violation.on_g {
+            violation.beta ^ conn.g(violation.x)
+        } else {
+            violation.beta ^ conn.f(violation.x)
+        };
+        assert_ne!(lhs, rhs);
+    }
+
+    #[test]
+    fn mismatched_difference_breaks_independence() {
+        // f affine but g differs from f by a *non-constant* amount.
+        let conn = Connection::from_fn(3, |x| x, |x| if x < 4 { x ^ 1 } else { x ^ 2 });
+        assert!(!is_independent_naive(&conn));
+        assert!(!is_independent(&conn));
+    }
+
+    #[test]
+    fn fast_and_naive_checkers_agree_on_random_connections() {
+        let mut rng = ChaCha8Rng::seed_from_u64(67);
+        let mut independents = 0usize;
+        for i in 0..60 {
+            let conn = if i % 3 == 0 {
+                // random affine pair: independent by construction
+                let aff = AffineMap::random(3, 3, &mut rng);
+                Connection::from_affine(&aff, rand::Rng::gen_range(&mut rng, 0..8))
+            } else {
+                // random tables: essentially never independent
+                let f = Permutation::random(3, &mut rng);
+                let g = Permutation::random(3, &mut rng);
+                Connection::from_fn(3, |x| f.apply(x), |x| g.apply(x))
+            };
+            let a = is_independent_naive(&conn);
+            let b = is_independent(&conn);
+            assert_eq!(a, b, "checkers disagree on connection {i}");
+            if a {
+                independents += 1;
+            }
+        }
+        assert!(independents >= 10, "the affine third must all be independent");
+    }
+
+    #[test]
+    fn certificate_beta_composes_linearly() {
+        let m = LinearMap::from_columns(4, 4, vec![0b0011, 0b0110, 0b1100, 0b1001]);
+        let aff = AffineMap::new(m, 0b0101);
+        let conn = Connection::from_affine(&aff, 0b1111);
+        let cert = independence_certificate(&conn).unwrap();
+        for alpha in all_labels(4) {
+            // β(α) must equal f(α) ⊕ f(0).
+            assert_eq!(cert.beta_for(alpha), conn.f(alpha) ^ conn.f(0));
+        }
+    }
+
+    #[test]
+    fn certificate_verify_rejects_foreign_connections() {
+        let conn_a = baseline_stage0(3);
+        let cert_a = independence_certificate(&conn_a).unwrap();
+        let sigma = IndexPermutation::perfect_shuffle(4);
+        let conn_b = Connection::from_link_permutation(&Permutation::from_index_perm(&sigma));
+        // Same width, different connection: the certificate must not verify
+        // unless the betas coincide (they do not here).
+        assert!(!cert_a.verify(&conn_b) || cert_a == independence_certificate(&conn_b).unwrap());
+        let narrow = baseline_stage0(2);
+        assert!(!cert_a.verify(&narrow), "width mismatch must fail");
+    }
+}

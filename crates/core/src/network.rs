@@ -1,0 +1,224 @@
+//! Networks as sequences of connections.
+//!
+//! An `n`-stage MIN on `N = 2^n` terminals is, in the paper's model, an
+//! MI-digraph whose stages are joined by `n-1` connections. A
+//! [`ConnectionNetwork`] is exactly that: the common cell-label width plus
+//! the ordered list of connections; it converts to and from the plain
+//! [`MiDigraph`] of `min-graph` (the conversion *to* a digraph is always
+//! possible, the conversion *from* one requires every interior node to have
+//! out-degree exactly 2 so that an `(f, g)` decomposition exists).
+
+use crate::connection::Connection;
+use min_graph::MiDigraph;
+use min_labels::Width;
+use serde::{Deserialize, Serialize};
+
+/// A multistage interconnection network given by its inter-stage
+/// connections.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionNetwork {
+    width: Width,
+    connections: Vec<Connection>,
+}
+
+impl ConnectionNetwork {
+    /// Builds a network from a list of connections (all of the same width).
+    ///
+    /// `connections.len()` is the number of inter-stage links, so the network
+    /// has `connections.len() + 1` stages and `2^{width+1}` terminals.
+    pub fn new(width: Width, connections: Vec<Connection>) -> Self {
+        min_labels::check_width(width);
+        for (i, c) in connections.iter().enumerate() {
+            assert_eq!(
+                c.width(),
+                width,
+                "connection {i} has width {} but the network expects {width}",
+                c.width()
+            );
+        }
+        ConnectionNetwork { width, connections }
+    }
+
+    /// Cell-label width (the paper's `n-1`).
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Number of stages (`n`).
+    pub fn stages(&self) -> usize {
+        self.connections.len() + 1
+    }
+
+    /// Number of cells per stage (`N/2`).
+    pub fn cells_per_stage(&self) -> usize {
+        1usize << self.width
+    }
+
+    /// Number of network terminals (`N = 2 · cells_per_stage`).
+    pub fn terminals(&self) -> usize {
+        self.cells_per_stage() * 2
+    }
+
+    /// The connections, first stage first.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// The connection between stage `i` and stage `i+1` (0-based).
+    pub fn connection(&self, i: usize) -> &Connection {
+        &self.connections[i]
+    }
+
+    /// `true` when every connection is 2-regular, i.e. the induced digraph
+    /// satisfies the paper's in/out-degree requirements.
+    pub fn is_proper(&self) -> bool {
+        self.connections.iter().all(Connection::is_two_regular)
+    }
+
+    /// `true` when some stage has parallel links (Fig. 5 degeneracy).
+    pub fn has_parallel_links(&self) -> bool {
+        self.connections.iter().any(Connection::has_parallel_links)
+    }
+
+    /// Expands the network into an [`MiDigraph`].
+    pub fn to_digraph(&self) -> MiDigraph {
+        let cells = self.cells_per_stage();
+        let mut g = MiDigraph::new(self.stages(), cells);
+        for (s, conn) in self.connections.iter().enumerate() {
+            for x in 0..cells as u64 {
+                g.add_arc(s, x as u32, conn.f(x) as u32);
+                g.add_arc(s, x as u32, conn.g(x) as u32);
+            }
+        }
+        g
+    }
+
+    /// Recovers a connection network from a digraph whose interior nodes all
+    /// have out-degree 2. The assignment of the two children to `f` and `g`
+    /// is arbitrary (first child listed becomes `f`); the induced digraph is
+    /// identical either way.
+    pub fn from_digraph(g: &MiDigraph) -> Option<ConnectionNetwork> {
+        let cells = g.width();
+        if !cells.is_power_of_two() {
+            return None;
+        }
+        let width = cells.trailing_zeros() as usize;
+        let mut connections = Vec::with_capacity(g.stages().saturating_sub(1));
+        for s in 0..g.stages().saturating_sub(1) {
+            let mut f = Vec::with_capacity(cells);
+            let mut gt = Vec::with_capacity(cells);
+            for v in 0..cells as u32 {
+                let kids = g.children(s, v);
+                if kids.len() != 2 {
+                    return None;
+                }
+                f.push(kids[0]);
+                gt.push(kids[1]);
+            }
+            connections.push(Connection::from_tables(width, f, gt));
+        }
+        Some(ConnectionNetwork { width, connections })
+    }
+
+    /// The reverse network: the connections of `G⁻¹` obtained stage by stage
+    /// from the digraph (not via Proposition 1 — use
+    /// [`crate::reverse::reverse_connection`] on each stage when an
+    /// independence-preserving decomposition is wanted).
+    pub fn reverse(&self) -> Option<ConnectionNetwork> {
+        ConnectionNetwork::from_digraph(&self.to_digraph().reverse())
+    }
+
+    /// The reverse network with every stage decomposed by Proposition 1
+    /// (requires every stage to be a proper independent connection).
+    pub fn reverse_via_proposition1(&self) -> Result<ConnectionNetwork, crate::error::ReverseError> {
+        let mut rev_connections = Vec::with_capacity(self.connections.len());
+        for conn in self.connections.iter().rev() {
+            rev_connections.push(crate::reverse::reverse_connection(conn)?);
+        }
+        Ok(ConnectionNetwork {
+            width: self.width,
+            connections: rev_connections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::independence::is_independent;
+
+    /// The canonical 3-stage Baseline as a connection network.
+    fn baseline3() -> ConnectionNetwork {
+        let c0 = Connection::from_fn(2, |x| x >> 1, |x| (x >> 1) | 0b10);
+        let c1 = Connection::from_fn(2, |x| x & 0b10, |x| (x & 0b10) | 1);
+        ConnectionNetwork::new(2, vec![c0, c1])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let net = baseline3();
+        assert_eq!(net.stages(), 3);
+        assert_eq!(net.width(), 2);
+        assert_eq!(net.cells_per_stage(), 4);
+        assert_eq!(net.terminals(), 8);
+        assert!(net.is_proper());
+        assert!(!net.has_parallel_links());
+        assert_eq!(net.connections().len(), 2);
+        assert_eq!(net.connection(0).f(3), 1);
+    }
+
+    #[test]
+    fn to_digraph_produces_the_expected_arcs() {
+        let net = baseline3();
+        let g = net.to_digraph();
+        assert_eq!(g.stages(), 3);
+        assert_eq!(g.width(), 4);
+        assert_eq!(g.arc_count(), 16);
+        assert!(g.is_proper());
+        assert!(g.children(0, 3).contains(&1));
+        assert!(g.children(0, 3).contains(&3));
+    }
+
+    #[test]
+    fn from_digraph_round_trips_the_structure() {
+        let net = baseline3();
+        let g = net.to_digraph();
+        let back = ConnectionNetwork::from_digraph(&g).expect("2-regular digraph decomposes");
+        assert!(back.to_digraph().same_arcs(&g));
+        assert_eq!(back.stages(), net.stages());
+    }
+
+    #[test]
+    fn from_digraph_rejects_irregular_graphs() {
+        let mut g = MiDigraph::new(2, 2);
+        g.add_arc(0, 0, 0);
+        assert!(ConnectionNetwork::from_digraph(&g).is_none());
+        let h = MiDigraph::new(2, 3);
+        assert!(ConnectionNetwork::from_digraph(&h).is_none(), "width must be a power of two");
+    }
+
+    #[test]
+    fn reverse_reverses_the_digraph() {
+        let net = baseline3();
+        let rev = net.reverse().expect("proper network reverses");
+        assert!(rev.to_digraph().same_arcs(&net.to_digraph().reverse()));
+    }
+
+    #[test]
+    fn reverse_via_proposition1_matches_the_digraph_reverse() {
+        let net = baseline3();
+        let rev = net.reverse_via_proposition1().expect("independent stages");
+        assert!(rev.to_digraph().same_arcs(&net.to_digraph().reverse()));
+        for conn in rev.connections() {
+            assert!(is_independent(conn), "Proposition 1 preserves independence");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "has width")]
+    fn mismatched_connection_widths_are_rejected() {
+        let c0 = Connection::from_fn(2, |x| x, |x| x ^ 1);
+        let c1 = Connection::from_fn(3, |x| x, |x| x ^ 1);
+        let _ = ConnectionNetwork::new(2, vec![c0, c1]);
+    }
+}

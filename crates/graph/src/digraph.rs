@@ -1,0 +1,394 @@
+//! The MI-digraph data structure.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node by its stage and its index within that stage.
+///
+/// The paper labels the nodes of stage `i` with the binary `(n-1)`-tuples
+/// `(x_{n-1}, …, x_1)`; [`NodeId::index`] is the integer value of that tuple
+/// and [`NodeId::stage`] is the 0-based stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId {
+    /// 0-based stage (the paper's stage `i` is `stage = i - 1`).
+    pub stage: usize,
+    /// Index of the node within its stage (`0 ..= width-1`).
+    pub index: u32,
+}
+
+impl NodeId {
+    /// Convenience constructor.
+    pub fn new(stage: usize, index: u32) -> Self {
+        NodeId { stage, index }
+    }
+}
+
+/// A multistage interconnection digraph.
+///
+/// Nodes are partitioned into `stages` ordered stages of `width` nodes each;
+/// arcs go only from stage `s` to stage `s+1`. Parallel arcs are allowed
+/// (they arise from the degenerate PIPID stages of Fig. 5) and degrees are
+/// not constrained by the data structure — the paper's regularity
+/// requirements are checked by [`MiDigraph::is_proper`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiDigraph {
+    stages: usize,
+    width: usize,
+    /// `fwd[s][v]` = children (stage `s+1` indices) of node `v` of stage `s`;
+    /// `fwd.len() == stages - 1`.
+    fwd: Vec<Vec<Vec<u32>>>,
+    /// `bwd[s][v]` = parents (stage `s-1` indices) of node `v` of stage `s`;
+    /// `bwd[0]` is always a vector of empty lists.
+    bwd: Vec<Vec<Vec<u32>>>,
+}
+
+impl MiDigraph {
+    /// Creates an MI-digraph with the given number of stages and nodes per
+    /// stage and no arcs.
+    pub fn new(stages: usize, width: usize) -> Self {
+        assert!(stages >= 1, "an MI-digraph needs at least one stage");
+        assert!(width >= 1, "each stage needs at least one node");
+        let fwd = (0..stages.saturating_sub(1))
+            .map(|_| vec![Vec::new(); width])
+            .collect();
+        let bwd = (0..stages).map(|_| vec![Vec::new(); width]).collect();
+        MiDigraph {
+            stages,
+            width,
+            fwd,
+            bwd,
+        }
+    }
+
+    /// Number of stages (`n` in the paper).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Nodes per stage (`N/2 = 2^{n-1}` for the paper's networks).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.stages * self.width
+    }
+
+    /// Total number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.fwd
+            .iter()
+            .map(|stage| stage.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Adds an arc from node `from` of stage `stage` to node `to` of stage
+    /// `stage + 1`. Parallel arcs are permitted.
+    pub fn add_arc(&mut self, stage: usize, from: u32, to: u32) {
+        assert!(
+            stage + 1 < self.stages,
+            "arc source stage {stage} has no successor stage"
+        );
+        assert!((from as usize) < self.width, "source index out of range");
+        assert!((to as usize) < self.width, "target index out of range");
+        self.fwd[stage][from as usize].push(to);
+        self.bwd[stage + 1][to as usize].push(from);
+    }
+
+    /// Children of node `v` of stage `stage` (empty for the last stage).
+    pub fn children(&self, stage: usize, v: u32) -> &[u32] {
+        if stage + 1 >= self.stages {
+            &[]
+        } else {
+            &self.fwd[stage][v as usize]
+        }
+    }
+
+    /// Parents of node `v` of stage `stage` (empty for the first stage).
+    pub fn parents(&self, stage: usize, v: u32) -> &[u32] {
+        &self.bwd[stage][v as usize]
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, stage: usize, v: u32) -> usize {
+        self.children(stage, v).len()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, stage: usize, v: u32) -> usize {
+        self.parents(stage, v).len()
+    }
+
+    /// Iterates over all arcs as `(stage, from, to)` triples.
+    pub fn arcs(&self) -> impl Iterator<Item = (usize, u32, u32)> + '_ {
+        self.fwd.iter().enumerate().flat_map(|(s, stage)| {
+            stage.iter().enumerate().flat_map(move |(v, kids)| {
+                kids.iter().map(move |&c| (s, v as u32, c))
+            })
+        })
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.stages).flat_map(move |s| (0..self.width as u32).map(move |v| NodeId::new(s, v)))
+    }
+
+    /// Checks the regularity requirements of the paper's MI-digraph
+    /// definition: every node of a non-final stage has out-degree 2, every
+    /// node of a non-initial stage has in-degree 2, and arcs only join
+    /// consecutive stages (guaranteed structurally).
+    ///
+    /// Note that the paper additionally requires `width = 2^{stages - 1}`;
+    /// that is a property of the *networks*, not of the digraph container,
+    /// and is checked by `min-core`.
+    pub fn is_proper(&self) -> bool {
+        for s in 0..self.stages {
+            for v in 0..self.width as u32 {
+                if s + 1 < self.stages && self.out_degree(s, v) != 2 {
+                    return false;
+                }
+                if s > 0 && self.in_degree(s, v) != 2 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if some node has two parallel arcs to the same child —
+    /// the degenerate situation of Fig. 5 (a PIPID stage with θ⁻¹(0) = 0).
+    pub fn has_parallel_arcs(&self) -> bool {
+        for s in 0..self.stages.saturating_sub(1) {
+            for v in 0..self.width {
+                let kids = &self.fwd[s][v];
+                for i in 0..kids.len() {
+                    for j in (i + 1)..kids.len() {
+                        if kids[i] == kids[j] {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The reverse MI-digraph `G⁻¹`: stages in reverse order and every arc
+    /// flipped (the paper's "reverse network", §3).
+    pub fn reverse(&self) -> MiDigraph {
+        let mut rev = MiDigraph::new(self.stages, self.width);
+        for (s, from, to) in self.arcs() {
+            // Arc (s, from) -> (s+1, to) becomes, in the reversed stage
+            // order, an arc from stage (stages-2-s) node `to` to stage
+            // (stages-1-s) node `from`.
+            let new_stage = self.stages - 2 - s;
+            rev.add_arc(new_stage, to, from);
+        }
+        rev
+    }
+
+    /// Extracts the sub-digraph induced by the stage interval
+    /// `lo ..= hi` (the paper's `(G)_{i,j}`) as a standalone MI-digraph with
+    /// `hi - lo + 1` stages.
+    pub fn slice(&self, lo: usize, hi: usize) -> MiDigraph {
+        assert!(lo <= hi && hi < self.stages, "invalid stage interval");
+        let mut out = MiDigraph::new(hi - lo + 1, self.width);
+        for s in lo..hi {
+            for v in 0..self.width as u32 {
+                for &c in self.children(s, v) {
+                    out.add_arc(s - lo, v, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Relabels the nodes of every stage according to `mapping`
+    /// (`mapping[stage][old_index] = new_index`) and returns the relabelled
+    /// digraph. Panics unless each per-stage map is a bijection.
+    pub fn relabel(&self, mapping: &[Vec<u32>]) -> MiDigraph {
+        assert_eq!(mapping.len(), self.stages, "one map per stage required");
+        for m in mapping {
+            assert_eq!(m.len(), self.width, "each map must cover the stage");
+            let mut seen = vec![false; self.width];
+            for &t in m {
+                assert!((t as usize) < self.width && !seen[t as usize], "not a bijection");
+                seen[t as usize] = true;
+            }
+        }
+        let mut out = MiDigraph::new(self.stages, self.width);
+        for (s, from, to) in self.arcs() {
+            out.add_arc(s, mapping[s][from as usize], mapping[s + 1][to as usize]);
+        }
+        out
+    }
+
+    /// Sorts every adjacency list; after normalization, two digraphs that
+    /// contain the same arcs compare equal with `==` regardless of insertion
+    /// order.
+    pub fn normalize(&mut self) {
+        for stage in &mut self.fwd {
+            for kids in stage {
+                kids.sort_unstable();
+            }
+        }
+        for stage in &mut self.bwd {
+            for parents in stage {
+                parents.sort_unstable();
+            }
+        }
+    }
+
+    /// Returns a normalized copy (see [`MiDigraph::normalize`]).
+    pub fn normalized(&self) -> MiDigraph {
+        let mut c = self.clone();
+        c.normalize();
+        c
+    }
+
+    /// Structural equality up to arc order.
+    pub fn same_arcs(&self, other: &MiDigraph) -> bool {
+        self.stages == other.stages
+            && self.width == other.width
+            && self.normalized() == other.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny 3-stage, width-4 butterfly-like graph used by several tests.
+    fn sample() -> MiDigraph {
+        let mut g = MiDigraph::new(3, 4);
+        // stage 0 -> 1: node v -> {v, v ^ 2}
+        for v in 0..4u32 {
+            g.add_arc(0, v, v);
+            g.add_arc(0, v, v ^ 2);
+        }
+        // stage 1 -> 2: node v -> {v, v ^ 1}
+        for v in 0..4u32 {
+            g.add_arc(1, v, v);
+            g.add_arc(1, v, v ^ 1);
+        }
+        g
+    }
+
+    #[test]
+    fn construction_counts_nodes_and_arcs() {
+        let g = sample();
+        assert_eq!(g.stages(), 3);
+        assert_eq!(g.width(), 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.arc_count(), 16);
+    }
+
+    #[test]
+    fn adjacency_is_recorded_in_both_directions() {
+        let g = sample();
+        assert_eq!(g.children(0, 1), &[1, 3]);
+        let mut parents = g.parents(1, 3).to_vec();
+        parents.sort_unstable();
+        assert_eq!(parents, vec![1, 3]);
+        assert!(g.children(2, 0).is_empty(), "last stage has no children");
+        assert!(g.parents(0, 0).is_empty(), "first stage has no parents");
+    }
+
+    #[test]
+    fn degrees_and_properness() {
+        let g = sample();
+        assert!(g.is_proper());
+        let mut h = MiDigraph::new(3, 4);
+        h.add_arc(0, 0, 0);
+        assert!(!h.is_proper());
+    }
+
+    #[test]
+    fn parallel_arcs_are_representable_and_detected() {
+        let mut g = MiDigraph::new(2, 2);
+        g.add_arc(0, 0, 1);
+        g.add_arc(0, 0, 1);
+        g.add_arc(0, 1, 0);
+        g.add_arc(0, 1, 0);
+        assert!(g.has_parallel_arcs());
+        assert!(g.is_proper(), "degree-wise the graph is still 2-regular");
+        assert!(!sample().has_parallel_arcs());
+    }
+
+    #[test]
+    fn reverse_flips_arcs_and_stage_order() {
+        let g = sample();
+        let r = g.reverse();
+        assert_eq!(r.stages(), 3);
+        assert_eq!(r.arc_count(), g.arc_count());
+        // Arc (0, v) -> (1, v^2) becomes (1, v^2) -> (2, v) in the reverse.
+        for v in 0..4u32 {
+            assert!(r.children(1, v ^ 2).contains(&v));
+        }
+        // Double reversal returns the original graph.
+        assert!(g.same_arcs(&r.reverse()));
+    }
+
+    #[test]
+    fn slice_extracts_the_requested_interval() {
+        let g = sample();
+        let s = g.slice(1, 2);
+        assert_eq!(s.stages(), 2);
+        assert_eq!(s.arc_count(), 8);
+        assert_eq!(s.children(0, 2), &[2, 3]);
+        let single = g.slice(0, 0);
+        assert_eq!(single.stages(), 1);
+        assert_eq!(single.arc_count(), 0);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = sample();
+        // Swap nodes 0 and 1 in stage 1 only.
+        let mapping = vec![
+            vec![0, 1, 2, 3],
+            vec![1, 0, 2, 3],
+            vec![0, 1, 2, 3],
+        ];
+        let h = g.relabel(&mapping);
+        assert_eq!(h.arc_count(), g.arc_count());
+        // The arc (0,0) -> (1,0) must now point at (1,1).
+        assert!(h.children(0, 0).contains(&1));
+        // Relabelling back with the same (involutive) mapping restores g.
+        assert!(h.relabel(&mapping).same_arcs(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn relabel_rejects_non_bijections() {
+        let g = sample();
+        let bad = vec![vec![0, 0, 2, 3], vec![0, 1, 2, 3], vec![0, 1, 2, 3]];
+        let _ = g.relabel(&bad);
+    }
+
+    #[test]
+    fn same_arcs_ignores_insertion_order() {
+        let mut a = MiDigraph::new(2, 2);
+        a.add_arc(0, 0, 0);
+        a.add_arc(0, 0, 1);
+        let mut b = MiDigraph::new(2, 2);
+        b.add_arc(0, 0, 1);
+        b.add_arc(0, 0, 0);
+        assert!(a.same_arcs(&b));
+        assert_ne!(a, b, "raw equality is order-sensitive by design");
+    }
+
+    #[test]
+    fn nodes_iterator_covers_every_node() {
+        let g = sample();
+        assert_eq!(g.nodes().count(), 12);
+        assert_eq!(g.nodes().next(), Some(NodeId::new(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no successor stage")]
+    fn adding_arc_from_last_stage_panics() {
+        let mut g = MiDigraph::new(2, 2);
+        g.add_arc(1, 0, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Generic network construction.
+//!
+//! The classical networks are all "one PIPID per stage", but users of the
+//! library (and the random generators and counterexample searches) need the
+//! general forms the paper discusses: arbitrary link permutations (Fig. 4),
+//! raw `(f,g)` connections (§3), and mixtures. [`NetworkBuilder`] assembles
+//! a [`ConnectionNetwork`] from any of these, stage by stage, and can report
+//! the §4 diagnostics (which stages are PIPID, which are degenerate).
+
+use min_core::pipid::connection_from_pipid;
+use min_core::{Connection, ConnectionNetwork};
+use min_labels::{IndexPermutation, Permutation, Width};
+
+/// Incremental builder for a [`ConnectionNetwork`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    width: Width,
+    connections: Vec<Connection>,
+    pipid_stages: Vec<Option<IndexPermutation>>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for networks with `width`-bit cell labels
+    /// (`2^width` cells per stage, `2^{width+1}` terminals).
+    pub fn new(width: Width) -> Self {
+        min_labels::check_width(width);
+        NetworkBuilder {
+            width,
+            connections: Vec::new(),
+            pipid_stages: Vec::new(),
+        }
+    }
+
+    /// Cell-label width.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Number of stages the built network will have.
+    pub fn stages(&self) -> usize {
+        self.connections.len() + 1
+    }
+
+    /// Appends a stage given directly as a connection.
+    pub fn push_connection(mut self, conn: Connection) -> Self {
+        assert_eq!(conn.width(), self.width, "connection width mismatch");
+        self.connections.push(conn);
+        self.pipid_stages.push(None);
+        self
+    }
+
+    /// Appends a stage given as a permutation of the `2^{width+1}` link
+    /// labels (the classical drawing of Fig. 4).
+    pub fn push_link_permutation(mut self, perm: &Permutation) -> Self {
+        assert_eq!(perm.width(), self.width + 1, "link labels have width+1 digits");
+        self.connections.push(Connection::from_link_permutation(perm));
+        self.pipid_stages.push(perm.as_pipid());
+        self
+    }
+
+    /// Appends a stage given as a PIPID digit permutation θ (§4).
+    pub fn push_pipid(mut self, theta: &IndexPermutation) -> Self {
+        assert_eq!(theta.width(), self.width + 1, "link labels have width+1 digits");
+        let stage = connection_from_pipid(theta);
+        self.connections.push(stage.connection);
+        self.pipid_stages.push(Some(theta.clone()));
+        self
+    }
+
+    /// For each pushed stage, the digit permutation if the stage is known to
+    /// be a PIPID (`None` for raw connections and non-PIPID link
+    /// permutations).
+    pub fn pipid_stages(&self) -> &[Option<IndexPermutation>] {
+        &self.pipid_stages
+    }
+
+    /// `true` when every pushed stage is a PIPID with non-zero critical
+    /// digit — the hypothesis of the paper's main corollary.
+    pub fn all_stages_nondegenerate_pipid(&self) -> bool {
+        self.pipid_stages
+            .iter()
+            .all(|t| t.as_ref().is_some_and(|theta| theta.theta_inv(0) != 0))
+    }
+
+    /// Finishes the builder.
+    ///
+    /// Panics when no stage has been pushed (a network needs ≥ 2 stages).
+    pub fn build(self) -> ConnectionNetwork {
+        assert!(
+            !self.connections.is_empty(),
+            "push at least one inter-stage connection before building"
+        );
+        ConnectionNetwork::new(self.width, self.connections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical;
+    use min_graph::paths::is_banyan;
+
+    #[test]
+    fn building_omega_by_hand_matches_the_catalog() {
+        let n = 4;
+        let theta = IndexPermutation::perfect_shuffle(n);
+        let mut b = NetworkBuilder::new(n - 1);
+        for _ in 0..n - 1 {
+            b = b.push_pipid(&theta);
+        }
+        assert!(b.all_stages_nondegenerate_pipid());
+        assert_eq!(b.stages(), n);
+        let net = b.build();
+        assert_eq!(net, classical::omega(n));
+    }
+
+    #[test]
+    fn link_permutation_stages_detect_pipidness() {
+        let n = 3;
+        let theta = IndexPermutation::bit_reversal(n);
+        let perm = Permutation::from_index_perm(&theta);
+        let b = NetworkBuilder::new(n - 1)
+            .push_link_permutation(&perm)
+            .push_link_permutation(&Permutation::from_fn(n, |x| x ^ 0b011));
+        let stages = b.pipid_stages();
+        assert_eq!(stages[0].as_ref(), Some(&theta));
+        assert!(stages[1].is_none(), "an XOR mask is not a PIPID");
+        assert!(!b.all_stages_nondegenerate_pipid());
+        let net = b.build();
+        assert_eq!(net.stages(), 3);
+    }
+
+    #[test]
+    fn raw_connection_stages_are_accepted() {
+        let conn = Connection::from_fn(2, |x| x >> 1, |x| (x >> 1) | 2);
+        let net = NetworkBuilder::new(2)
+            .push_connection(conn.clone())
+            .push_connection(Connection::from_fn(2, |x| x & 2, |x| (x & 2) | 1))
+            .build();
+        assert!(is_banyan(&net.to_digraph()));
+        assert_eq!(net.connection(0), &conn);
+    }
+
+    #[test]
+    fn degenerate_pipid_is_flagged() {
+        let theta = IndexPermutation::transposition(3, 1, 2); // fixes digit 0
+        let b = NetworkBuilder::new(2).push_pipid(&theta);
+        assert!(!b.all_stages_nondegenerate_pipid());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_is_rejected() {
+        let conn = Connection::from_fn(3, |x| x, |x| x ^ 1);
+        let _ = NetworkBuilder::new(2).push_connection(conn);
+    }
+
+    #[test]
+    #[should_panic(expected = "push at least one")]
+    fn empty_builder_cannot_build() {
+        let _ = NetworkBuilder::new(2).build();
+    }
+}

@@ -1,0 +1,34 @@
+//! # `min-networks` — the catalog of classical MINs
+//!
+//! Section 4 of Bermond & Fourneau closes with the corollary that motivates
+//! the whole paper: *"As Omega, Baseline, Reverse Baseline, Flip, Indirect
+//! Binary Cube and Modified Data Manipulator networks are designed using
+//! PIPID permutations, they are all equivalent."* This crate provides those
+//! six networks as first-class objects (with their PIPID stage sequences and
+//! literature references), together with:
+//!
+//! * [`builder`] — generic construction of a [`min_core::ConnectionNetwork`]
+//!   from digit permutations, link permutations or raw connections;
+//! * [`random`] — random generators used by tests and benchmarks: random
+//!   PIPID networks, random independent-connection Banyan networks
+//!   (the objects of Theorem 3), random arbitrary-wiring networks
+//!   (the negative controls);
+//! * [`counterexample`] — the degenerate and non-equivalent networks that
+//!   delimit the theory: Fig. 5 parallel-link stages, Banyan networks that
+//!   are *not* Baseline-equivalent, and buddy-property networks that are not
+//!   Baseline-equivalent (the point of reference [10]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod classical;
+pub mod counterexample;
+pub mod random;
+
+pub use builder::NetworkBuilder;
+pub use catalog::ClassicalNetwork;
+pub use classical::{
+    baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline,
+};

@@ -1,0 +1,174 @@
+//! Aggregate admissibility analysis.
+//!
+//! Topological equivalence is a statement about unlabeled structure; its
+//! observable consequence for a network operator is that *counts* of
+//! routable patterns coincide across equivalent networks (the admissible
+//! sets themselves differ, being tied to the terminal labelling). This
+//! module measures those counts, exhaustively for small `N` and by
+//! Monte-Carlo sampling beyond, and is the engine behind experiment E12.
+
+use crate::permutation_routing::is_admissible;
+use min_core::ConnectionNetwork;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of an admissibility census.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissibilityCensus {
+    /// Number of permutations examined.
+    pub examined: u64,
+    /// Number found admissible.
+    pub admissible: u64,
+    /// `true` when the census enumerated all `N!` permutations (otherwise it
+    /// is a Monte-Carlo estimate).
+    pub exhaustive: bool,
+}
+
+impl AdmissibilityCensus {
+    /// Fraction of examined permutations that were admissible.
+    pub fn fraction(&self) -> f64 {
+        if self.examined == 0 {
+            0.0
+        } else {
+            self.admissible as f64 / self.examined as f64
+        }
+    }
+}
+
+/// Exhaustively counts the admissible permutations of a network.
+///
+/// Practical only for `N ≤ 8` (8! = 40 320 permutations); panics on larger
+/// networks to avoid accidental multi-hour runs — use
+/// [`admissibility_monte_carlo`] instead.
+pub fn admissibility_exhaustive(net: &ConnectionNetwork) -> AdmissibilityCensus {
+    let n = net.terminals();
+    assert!(n <= 8, "exhaustive census is limited to N <= 8 terminals");
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    let mut examined = 0u64;
+    let mut admissible = 0u64;
+    permute(&mut perm, 0, &mut |p| {
+        examined += 1;
+        if is_admissible(net, p) {
+            admissible += 1;
+        }
+    });
+    AdmissibilityCensus {
+        examined,
+        admissible,
+        exhaustive: true,
+    }
+}
+
+/// Heap-style recursive permutation enumeration.
+fn permute<F: FnMut(&[u64])>(v: &mut Vec<u64>, k: usize, visit: &mut F) {
+    if k == v.len() {
+        visit(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, visit);
+        v.swap(k, i);
+    }
+}
+
+/// Estimates the admissible fraction by sampling `samples` uniform random
+/// permutations.
+pub fn admissibility_monte_carlo<R: Rng>(
+    net: &ConnectionNetwork,
+    samples: u64,
+    rng: &mut R,
+) -> AdmissibilityCensus {
+    let n = net.terminals() as u64;
+    let mut admissible = 0u64;
+    let mut perm: Vec<u64> = (0..n).collect();
+    for _ in 0..samples {
+        perm.shuffle(rng);
+        if is_admissible(net, &perm) {
+            admissible += 1;
+        }
+    }
+    AdmissibilityCensus {
+        examined: samples,
+        admissible,
+        exhaustive: false,
+    }
+}
+
+/// Counts how many of the `N` cyclic-shift patterns (`t ↦ t + k mod N`) the
+/// network can route without conflict — a cheap deterministic fingerprint
+/// used by the benchmarks.
+pub fn admissible_shift_count(net: &ConnectionNetwork) -> usize {
+    let n = net.terminals() as u64;
+    (0..n)
+        .filter(|&k| {
+            let perm: Vec<u64> = (0..n).map(|i| (i + k) % n).collect();
+            is_admissible(net, &perm)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use min_networks::{baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exhaustive_census_counts_are_equal_across_the_six_networks() {
+        // Equivalent networks must have the same *number* of admissible
+        // permutations (the sets differ, the counts cannot).
+        let n = 3; // N = 8 terminals, 8! = 40 320 permutations
+        let counts: Vec<u64> = [
+            omega(n),
+            flip(n),
+            baseline(n),
+            reverse_baseline(n),
+            indirect_binary_cube(n),
+            modified_data_manipulator(n),
+        ]
+        .iter()
+        .map(|net| admissibility_exhaustive(net).admissible)
+        .collect();
+        assert!(counts.iter().all(|&c| c == counts[0]), "counts: {counts:?}");
+        assert!(counts[0] > 0, "some permutations must be admissible");
+        assert!(counts[0] < 40_320, "the networks are blocking");
+    }
+
+    #[test]
+    fn exhaustive_census_examines_the_whole_symmetric_group() {
+        let net = omega(2); // N = 4, 4! = 24
+        let census = admissibility_exhaustive(&net);
+        assert_eq!(census.examined, 24);
+        assert!(census.exhaustive);
+        assert!(census.fraction() > 0.0 && census.fraction() <= 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_estimate_is_in_the_right_ballpark() {
+        let net = omega(3);
+        let exact = admissibility_exhaustive(&net).fraction();
+        let mut rng = ChaCha8Rng::seed_from_u64(191);
+        let estimate = admissibility_monte_carlo(&net, 4_000, &mut rng).fraction();
+        assert!(
+            (estimate - exact).abs() < 0.05,
+            "estimate {estimate} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn shift_fingerprint_is_stable() {
+        let a = admissible_shift_count(&omega(4));
+        let b = admissible_shift_count(&omega(4));
+        assert_eq!(a, b);
+        assert!(a <= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to N <= 8")]
+    fn exhaustive_census_refuses_large_networks() {
+        let _ = admissibility_exhaustive(&omega(4));
+    }
+}

@@ -1,0 +1,31 @@
+//! # `min-routing` — bit-directed routing and permutation analysis
+//!
+//! The practical payoff of the paper's §4 is that PIPID-built networks come
+//! with "a very simple bit directed routing": the port taken at every stage
+//! is a bit of the destination address, independent of the source. This
+//! crate provides that routing machinery, plus the analysis layer a network
+//! architect actually uses:
+//!
+//! * [`path`] — the unique source→destination path of a Banyan network, at
+//!   cell and at terminal granularity;
+//! * [`tag`] — destination-tag routing for delta networks: computing the tag
+//!   that reaches a given output, routing by tag, verifying self-routability;
+//! * [`permutation_routing`] — conflict analysis when all `N` inputs send
+//!   simultaneously according to a permutation: admissibility, conflict
+//!   counting, the blocking structure;
+//! * [`analysis`] — aggregate admissibility statistics (exhaustive for small
+//!   `N`, Monte-Carlo beyond) used to demonstrate that topologically
+//!   equivalent networks have identical admissibility *profiles* up to
+//!   relabelling (experiment E12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod path;
+pub mod permutation_routing;
+pub mod tag;
+
+pub use path::{route_terminals, CellPath, TerminalRoute};
+pub use permutation_routing::{permutation_conflicts, ConflictReport};
+pub use tag::{destination_tags, route_with_tag, tag_for_destination, SelfRoutingTable};

@@ -1,0 +1,109 @@
+//! Simulation configuration.
+
+use crate::traffic::TrafficPattern;
+use serde::{Deserialize, Serialize};
+
+/// Buffering discipline of the 2×2 cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferMode {
+    /// Patel's unbuffered model: when two packets request the same out-port
+    /// in the same cycle one of them (chosen uniformly) is dropped.
+    Unbuffered,
+    /// Per-input FIFOs of the given depth with backpressure: a packet that
+    /// cannot advance stays in its queue; injection fails when the
+    /// first-stage queue is full.
+    Fifo(usize),
+}
+
+/// Complete description of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Probability that an idle input injects a packet in a given cycle.
+    pub offered_load: f64,
+    /// Buffering discipline.
+    pub buffer_mode: BufferMode,
+    /// Traffic pattern (destination distribution).
+    pub traffic: TrafficPattern,
+    /// Number of measured cycles.
+    pub cycles: u64,
+    /// Number of warm-up cycles excluded from the statistics.
+    pub warmup: u64,
+    /// PRNG seed (the simulation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            offered_load: 0.5,
+            buffer_mode: BufferMode::Unbuffered,
+            traffic: TrafficPattern::Uniform,
+            cycles: 1_000,
+            warmup: 100,
+            seed: 0x1988,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Builder-style setter for the offered load.
+    pub fn with_load(mut self, load: f64) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be a probability");
+        self.offered_load = load;
+        self
+    }
+
+    /// Builder-style setter for the buffer mode.
+    pub fn with_buffer(mut self, mode: BufferMode) -> Self {
+        self.buffer_mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the traffic pattern.
+    pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Builder-style setter for the cycle counts.
+    pub fn with_cycles(mut self, cycles: u64, warmup: u64) -> Self {
+        self.cycles = cycles;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters_compose() {
+        let cfg = SimConfig::default()
+            .with_load(0.9)
+            .with_buffer(BufferMode::Fifo(4))
+            .with_traffic(TrafficPattern::Hotspot {
+                fraction: 0.2,
+                target: 0,
+            })
+            .with_cycles(500, 50)
+            .with_seed(7);
+        assert_eq!(cfg.offered_load, 0.9);
+        assert_eq!(cfg.buffer_mode, BufferMode::Fifo(4));
+        assert_eq!(cfg.cycles, 500);
+        assert_eq!(cfg.warmup, 50);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_load_is_rejected() {
+        let _ = SimConfig::default().with_load(1.5);
+    }
+}

@@ -1,0 +1,348 @@
+//! The cycle-synchronous simulation engine.
+//!
+//! Each cycle proceeds in three phases, processed from the output side back
+//! to the input side so that space freed in a stage is visible to the stage
+//! behind it within the same cycle:
+//!
+//! 1. **delivery** — every packet sitting at a last-stage cell leaves the
+//!    fabric (its latency is recorded, and a misroute counter audits that it
+//!    really reached its destination cell);
+//! 2. **switching** — every interior cell forwards up to two packets, one
+//!    per out-port, choosing the port from the packet's destination tag.
+//!    When the two head packets want the same port an arbitration winner is
+//!    picked uniformly at random; the loser is dropped (unbuffered mode) or
+//!    retained (FIFO mode). A forwarded packet only moves if the downstream
+//!    cell has queue space (always true in unbuffered mode).
+//! 3. **injection** — each of the two terminals of every first-stage cell
+//!    offers a packet with probability `offered_load`; accepted packets are
+//!    tagged with the routing tag of their destination.
+//!
+//! The engine is deterministic for a given [`SimConfig::seed`].
+
+use crate::config::{BufferMode, SimConfig};
+use crate::fabric::{Fabric, FabricError};
+use crate::metrics::Metrics;
+use crate::packet::Packet;
+use min_core::ConnectionNetwork;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// A running simulation.
+#[derive(Debug)]
+pub struct Simulator {
+    fabric: Fabric,
+    config: SimConfig,
+    rng: ChaCha8Rng,
+    /// `queues[s][cell]` — packets waiting at cell `cell` of stage `s`.
+    queues: Vec<Vec<VecDeque<Packet>>>,
+    cycle: u64,
+    next_packet_id: u64,
+    metrics: Metrics,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given network and configuration.
+    pub fn new(net: ConnectionNetwork, config: SimConfig) -> Result<Self, FabricError> {
+        let fabric = Fabric::new(net)?;
+        let stages = fabric.stages();
+        let cells = fabric.cells();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        Ok(Simulator {
+            fabric,
+            config,
+            rng,
+            queues: vec![vec![VecDeque::new(); cells]; stages],
+            cycle: 0,
+            next_packet_id: 0,
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Per-cell queue capacity implied by the buffer mode.
+    fn capacity(&self) -> usize {
+        match self.config.buffer_mode {
+            BufferMode::Unbuffered => 2,
+            BufferMode::Fifo(depth) => 2 * depth.max(1),
+        }
+    }
+
+    /// The fabric being simulated.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of packets currently inside the fabric.
+    pub fn in_flight(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|stage| stage.iter().map(|q| q.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Runs one cycle.
+    pub fn step(&mut self) {
+        let stages = self.fabric.stages();
+        let cells = self.fabric.cells();
+        let capacity = self.capacity();
+        let unbuffered = matches!(self.config.buffer_mode, BufferMode::Unbuffered);
+
+        // Phase 1: delivery at the last stage.
+        for cell in 0..cells {
+            while let Some(p) = self.queues[stages - 1][cell].pop_front() {
+                self.metrics.delivered += 1;
+                if p.destination as usize != cell {
+                    self.metrics.misrouted += 1;
+                }
+                if p.injected_at >= self.config.warmup {
+                    let latency = self.cycle - p.injected_at;
+                    self.metrics.total_latency += latency;
+                    self.metrics.max_latency = self.metrics.max_latency.max(latency);
+                }
+            }
+        }
+
+        // Phase 2: switching, from the next-to-last stage back to the first.
+        for s in (0..stages - 1).rev() {
+            for cell in 0..cells {
+                // A 2x2 cell forwards at most one packet per out-port per cycle.
+                let mut port_used = [false; 2];
+                let mut retained: VecDeque<Packet> = VecDeque::new();
+                // Consider at most the two packets at the head of the queue
+                // this cycle; the rest stay queued (FIFO order preserved).
+                let mut candidates: Vec<Packet> = Vec::with_capacity(2);
+                while candidates.len() < 2 {
+                    match self.queues[s][cell].pop_front() {
+                        Some(p) => candidates.push(p),
+                        None => break,
+                    }
+                }
+                // Resolve same-port contention with a fair coin.
+                if candidates.len() == 2 {
+                    let p0 = candidates[0].port_at(s);
+                    let p1 = candidates[1].port_at(s);
+                    if p0 == p1 && self.rng.gen_bool(0.5) {
+                        candidates.swap(0, 1);
+                    }
+                }
+                for packet in candidates {
+                    let port = packet.port_at(s) as usize;
+                    if port_used[port] {
+                        // Lost arbitration.
+                        if unbuffered {
+                            self.metrics.dropped += 1;
+                        } else {
+                            retained.push_back(packet);
+                        }
+                        continue;
+                    }
+                    let next = self.fabric.next_cell(s, cell as u32, port as u8) as usize;
+                    if self.queues[s + 1][next].len() < capacity {
+                        port_used[port] = true;
+                        self.queues[s + 1][next].push_back(packet);
+                    } else if unbuffered {
+                        self.metrics.dropped += 1;
+                    } else {
+                        retained.push_back(packet);
+                    }
+                }
+                // Put retained packets back at the front, preserving order.
+                while let Some(p) = retained.pop_back() {
+                    self.queues[s][cell].push_front(p);
+                }
+                // In unbuffered mode nothing may linger in an interior queue.
+                if unbuffered && s > 0 {
+                    while let Some(_stale) = self.queues[s][cell].pop_front() {
+                        self.metrics.dropped += 1;
+                    }
+                }
+            }
+        }
+
+        // Phase 3: injection at the first stage (two terminals per cell).
+        let width_bits = self.fabric.network().width();
+        for cell in 0..cells {
+            for _terminal in 0..2 {
+                if !self.rng.gen_bool(self.config.offered_load) {
+                    continue;
+                }
+                self.metrics.offered += 1;
+                if self.queues[0][cell].len() >= capacity {
+                    // No space at the source cell: the packet is refused.
+                    continue;
+                }
+                let destination = self.config.traffic.destination(
+                    cell as u32,
+                    cells as u32,
+                    width_bits,
+                    &mut self.rng,
+                );
+                let packet = Packet {
+                    id: self.next_packet_id,
+                    source: cell as u32,
+                    destination,
+                    tag: self.fabric.tag_for(destination),
+                    injected_at: self.cycle,
+                };
+                self.next_packet_id += 1;
+                self.metrics.injected += 1;
+                self.queues[0][cell].push_back(packet);
+            }
+        }
+
+        self.cycle += 1;
+        self.metrics.measured_cycles = self.cycle;
+        self.metrics.in_flight_at_end = self.in_flight();
+    }
+
+    /// Runs the configured number of cycles and returns the metrics.
+    pub fn run(&mut self) -> Metrics {
+        for _ in 0..self.config.cycles {
+            self.step();
+        }
+        self.metrics.clone()
+    }
+}
+
+/// Convenience wrapper: build a simulator, run it, return the metrics.
+pub fn simulate(net: ConnectionNetwork, config: SimConfig) -> Result<Metrics, FabricError> {
+    Ok(Simulator::new(net, config)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficPattern;
+    use min_networks::{baseline, omega};
+
+    fn quick_config() -> SimConfig {
+        SimConfig::default().with_cycles(400, 0).with_seed(42)
+    }
+
+    #[test]
+    fn packets_are_never_misrouted() {
+        for n in 2..=5 {
+            let metrics = simulate(omega(n), quick_config().with_load(0.8)).unwrap();
+            assert_eq!(metrics.misrouted, 0, "omega n={n}");
+            assert!(metrics.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn conservation_holds_in_both_buffer_modes() {
+        for mode in [BufferMode::Unbuffered, BufferMode::Fifo(4)] {
+            let metrics = simulate(
+                omega(4),
+                quick_config().with_load(0.9).with_buffer(mode),
+            )
+            .unwrap();
+            assert_eq!(
+                metrics.injected,
+                metrics.delivered + metrics.dropped + metrics.in_flight_at_end,
+                "mode {mode:?}"
+            );
+            assert!(metrics.offered >= metrics.injected);
+        }
+    }
+
+    #[test]
+    fn unbuffered_mode_drops_under_heavy_load() {
+        let metrics = simulate(omega(4), quick_config().with_load(1.0)).unwrap();
+        assert!(metrics.dropped > 0, "full load must cause arbitration losses");
+        // Patel's analysis: the per-terminal throughput of an unbuffered
+        // 4-stage delta network at full load is ≈ 0.52 — well below 1 and
+        // above ~0.4.
+        let tput = metrics.normalized_throughput(16);
+        assert!(tput > 0.35 && tput < 0.75, "throughput {tput}");
+    }
+
+    #[test]
+    fn buffered_mode_never_drops_inside_the_fabric() {
+        let unbuffered = simulate(omega(4), quick_config().with_load(1.0)).unwrap();
+        let buffered = simulate(
+            omega(4),
+            quick_config().with_load(1.0).with_buffer(BufferMode::Fifo(8)),
+        )
+        .unwrap();
+        assert!(unbuffered.dropped > 0, "the unbuffered fabric loses packets");
+        assert_eq!(buffered.dropped, 0, "backpressure replaces dropping");
+        assert!(buffered.delivered > 0);
+        // With FIFOs, the fabric instead refuses injections when the source
+        // queue is full: acceptance falls below 100% at full load.
+        assert!(buffered.acceptance_rate() < 1.0);
+    }
+
+    #[test]
+    fn low_load_uniform_traffic_is_delivered_almost_losslessly() {
+        let metrics = simulate(omega(4), quick_config().with_load(0.1)).unwrap();
+        let loss_rate = metrics.dropped as f64 / metrics.injected.max(1) as f64;
+        assert!(loss_rate < 0.2, "loss rate {loss_rate} too high at 10% load");
+        assert!(metrics.mean_latency() >= (omega(4).stages() - 1) as f64 * 0.9);
+    }
+
+    #[test]
+    fn hotspot_traffic_reduces_throughput() {
+        let uniform = simulate(omega(5), quick_config().with_load(0.9)).unwrap();
+        let hotspot = simulate(
+            omega(5),
+            quick_config()
+                .with_load(0.9)
+                .with_traffic(TrafficPattern::Hotspot {
+                    fraction: 0.5,
+                    target: 0,
+                }),
+        )
+        .unwrap();
+        assert!(
+            hotspot.delivered < uniform.delivered,
+            "hot-spot must congest the fabric: {} vs {}",
+            hotspot.delivered,
+            uniform.delivered
+        );
+    }
+
+    #[test]
+    fn equivalent_networks_have_similar_uniform_throughput() {
+        // Topologically equivalent fabrics under the same symmetric traffic
+        // produce statistically indistinguishable throughput; with a finite
+        // run we allow a 10% band.
+        let cfg = quick_config().with_load(0.8).with_cycles(1_500, 0);
+        let a = simulate(omega(4), cfg.clone()).unwrap().normalized_throughput(8);
+        let b = simulate(baseline(4), cfg).unwrap().normalized_throughput(8);
+        let rel = (a - b).abs() / a.max(b);
+        assert!(rel < 0.10, "throughputs {a} vs {b} differ by {rel}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_fixed_seed() {
+        let m1 = simulate(omega(4), quick_config()).unwrap();
+        let m2 = simulate(omega(4), quick_config()).unwrap();
+        assert_eq!(m1, m2);
+        let m3 = simulate(omega(4), quick_config().with_seed(43)).unwrap();
+        assert_ne!(m1, m3, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn step_by_step_api_matches_run() {
+        let cfg = quick_config().with_cycles(50, 0);
+        let mut s1 = Simulator::new(omega(3), cfg.clone()).unwrap();
+        for _ in 0..50 {
+            s1.step();
+        }
+        let m1 = s1.metrics().clone();
+        let m2 = simulate(omega(3), cfg).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(s1.cycle(), 50);
+    }
+}

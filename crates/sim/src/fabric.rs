@@ -1,0 +1,139 @@
+//! The switching fabric: a connection network plus its self-routing table.
+
+use min_core::ConnectionNetwork;
+use min_routing::tag::{destination_tags, SelfRoutingTable};
+
+/// A simulatable fabric: the network topology together with the
+/// destination-tag routing table the cells use to steer packets.
+///
+/// Construction fails when the network is not destination-tag routable
+/// (not a delta network); every PIPID-built network — in particular all six
+/// classical networks — qualifies.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    net: ConnectionNetwork,
+    routing: SelfRoutingTable,
+}
+
+impl Fabric {
+    /// Builds a fabric, verifying destination-tag routability.
+    pub fn new(net: ConnectionNetwork) -> Result<Self, FabricError> {
+        if !net.is_proper() {
+            return Err(FabricError::NotTwoRegular);
+        }
+        let routing = destination_tags(&net).ok_or(FabricError::NotDelta)?;
+        Ok(Fabric { net, routing })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &ConnectionNetwork {
+        &self.net
+    }
+
+    /// The self-routing table.
+    pub fn routing(&self) -> &SelfRoutingTable {
+        &self.routing
+    }
+
+    /// Cells per stage.
+    pub fn cells(&self) -> usize {
+        self.net.cells_per_stage()
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.net.stages()
+    }
+
+    /// Routing tag for a destination cell.
+    pub fn tag_for(&self, destination: u32) -> u32 {
+        self.routing.tag_of_destination[destination as usize]
+    }
+
+    /// Next-stage cell reached from `cell` through out-port `port` of
+    /// connection `stage`.
+    #[inline]
+    pub fn next_cell(&self, stage: usize, cell: u32, port: u8) -> u32 {
+        let conn = self.net.connection(stage);
+        if port == 0 {
+            conn.f(u64::from(cell)) as u32
+        } else {
+            conn.g(u64::from(cell)) as u32
+        }
+    }
+}
+
+/// Why a fabric could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// Some stage is not 2-regular.
+    NotTwoRegular,
+    /// The network is not destination-tag routable.
+    NotDelta,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::NotTwoRegular => write!(f, "the network is not 2-in/2-out regular"),
+            FabricError::NotDelta => {
+                write!(f, "the network is not destination-tag routable (not delta)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use min_networks::{baseline, omega};
+
+    #[test]
+    fn classical_networks_build_fabrics() {
+        for n in 2..=6 {
+            let fabric = Fabric::new(omega(n)).expect("omega is delta");
+            assert_eq!(fabric.stages(), n);
+            assert_eq!(fabric.cells(), 1 << (n - 1));
+            let fabric = Fabric::new(baseline(n)).expect("baseline is delta");
+            assert_eq!(fabric.cells(), 1 << (n - 1));
+        }
+    }
+
+    #[test]
+    fn tags_route_to_their_destination() {
+        let fabric = Fabric::new(omega(4)).unwrap();
+        for dst in 0..8u32 {
+            let tag = fabric.tag_for(dst);
+            for src in 0..8u32 {
+                let mut cell = src;
+                for s in 0..3 {
+                    cell = fabric.next_cell(s, cell, ((tag >> s) & 1) as u8);
+                }
+                assert_eq!(cell, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn non_delta_networks_are_rejected() {
+        let table: [u64; 4] = [0, 1, 3, 2];
+        let weird = min_core::Connection::from_fn(
+            2,
+            move |x| table[x as usize],
+            move |x| table[x as usize] ^ 2,
+        );
+        let second = min_core::Connection::from_fn(2, |x| x >> 1, |x| (x >> 1) | 2);
+        let net = min_core::ConnectionNetwork::new(2, vec![weird, second]);
+        assert_eq!(Fabric::new(net).unwrap_err(), FabricError::NotDelta);
+    }
+
+    #[test]
+    fn irregular_networks_are_rejected() {
+        let skew = min_core::Connection::from_fn(2, |_| 0, |x| x);
+        let second = min_core::Connection::from_fn(2, |x| x, |x| x ^ 1);
+        let net = min_core::ConnectionNetwork::new(2, vec![skew, second]);
+        assert_eq!(Fabric::new(net).unwrap_err(), FabricError::NotTwoRegular);
+    }
+}

@@ -1,0 +1,39 @@
+//! # `min-sim` — switch-level simulation of multistage interconnection networks
+//!
+//! The paper contains no measured evaluation; its claims are purely
+//! topological. What a systems audience ultimately cares about, though, is
+//! that *topologically equivalent networks are behaviourally
+//! interchangeable*: the same traffic, pushed through any of the six
+//! classical networks, produces the same throughput and latency statistics
+//! (up to terminal relabelling). This crate provides the synthetic substrate
+//! with which that consequence is demonstrated and benchmarked:
+//!
+//! * a cycle-synchronous model of a MIN built from 2×2 crossbar cells
+//!   ([`fabric::Fabric`]), in the two classical flavours — **unbuffered**
+//!   (Patel's delta-network model: a packet losing arbitration is dropped)
+//!   and **buffered** (per-input FIFOs with backpressure);
+//! * destination-tag routing using the self-routing tables of `min-routing`
+//!   (the simulator therefore requires a delta network, which every
+//!   PIPID-built network is);
+//! * traffic generators ([`traffic`]) — Bernoulli uniform, hot-spot, and
+//!   fixed permutation;
+//! * metrics ([`metrics`]) — offered/accepted/delivered counts, normalized
+//!   throughput, latency mean and tail, plus a conservation audit
+//!   (injected = delivered + dropped + in flight) used by the property
+//!   tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod fabric;
+pub mod metrics;
+pub mod packet;
+pub mod traffic;
+
+pub use config::{BufferMode, SimConfig};
+pub use engine::{simulate, Simulator};
+pub use metrics::Metrics;
+pub use packet::Packet;
+pub use traffic::TrafficPattern;

@@ -1,0 +1,98 @@
+//! Traffic patterns (destination distributions).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How injected packets choose their destination cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every destination cell is equally likely.
+    Uniform,
+    /// With probability `fraction` the packet goes to `target`; otherwise the
+    /// destination is uniform (the classic hot-spot model).
+    Hotspot {
+        /// Probability of addressing the hot cell.
+        fraction: f64,
+        /// The hot destination cell.
+        target: u32,
+    },
+    /// Source cell `s` always sends to `destinations[s]` (a fixed
+    /// cell-level traffic permutation or pattern).
+    Permutation(Vec<u32>),
+    /// Source cell `s` sends to the bit-reversal of `s`.
+    BitReversal,
+}
+
+impl TrafficPattern {
+    /// Draws a destination for a packet injected at `source`, given `cells`
+    /// cells per stage and `width_bits = log2(cells)`.
+    pub fn destination<R: Rng>(&self, source: u32, cells: u32, width_bits: usize, rng: &mut R) -> u32 {
+        match self {
+            TrafficPattern::Uniform => rng.gen_range(0..cells),
+            TrafficPattern::Hotspot { fraction, target } => {
+                if rng.gen_bool((*fraction).clamp(0.0, 1.0)) {
+                    *target % cells
+                } else {
+                    rng.gen_range(0..cells)
+                }
+            }
+            TrafficPattern::Permutation(dest) => dest[source as usize % dest.len()] % cells,
+            TrafficPattern::BitReversal => {
+                let mut r = 0u32;
+                for k in 0..width_bits {
+                    r |= ((source >> k) & 1) << (width_bits - 1 - k);
+                }
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(211);
+        let mut seen = vec![false; 8];
+        for _ in 0..500 {
+            let d = TrafficPattern::Uniform.destination(0, 8, 3, &mut rng);
+            seen[d as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hotspot_biases_towards_the_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(223);
+        let pattern = TrafficPattern::Hotspot {
+            fraction: 0.5,
+            target: 3,
+        };
+        let hits = (0..2_000)
+            .filter(|_| pattern.destination(1, 8, 3, &mut rng) == 3)
+            .count();
+        // 50% direct + 1/8 of the uniform remainder ≈ 56%.
+        assert!(hits > 800 && hits < 1500, "hits = {hits}");
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(227);
+        let pattern = TrafficPattern::Permutation(vec![3, 2, 1, 0]);
+        for s in 0..4u32 {
+            assert_eq!(pattern.destination(s, 4, 2, &mut rng), 3 - s);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_reverses() {
+        let mut rng = ChaCha8Rng::seed_from_u64(229);
+        let pattern = TrafficPattern::BitReversal;
+        assert_eq!(pattern.destination(0b001, 8, 3, &mut rng), 0b100);
+        assert_eq!(pattern.destination(0b110, 8, 3, &mut rng), 0b011);
+    }
+}

@@ -1,0 +1,98 @@
+//! Experiment E12 — equivalent topologies are behaviourally interchangeable.
+//!
+//! For every network in the catalog: verify destination-tag routability,
+//! count admissible cyclic-shift permutations, and run the switch-level
+//! simulator under uniform and hot-spot traffic at several offered loads,
+//! printing one row per (network, load). The throughput columns of
+//! equivalent networks coincide up to sampling noise.
+//!
+//! ```text
+//! cargo run --release --example routing_simulation [-- <stages>]
+//! ```
+
+use baseline_equivalence::prelude::*;
+use min_routing::analysis::admissible_shift_count;
+use min_routing::tag::verify_self_routing;
+use min_sim::{simulate, BufferMode, SimConfig, TrafficPattern};
+
+fn main() {
+    let stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let terminals = 1usize << stages;
+    println!("== Routing & simulation across the catalog, n = {stages} (N = {terminals}) ==\n");
+
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "network", "self-routing", "adm. shifts"
+    );
+    for kind in ClassicalNetwork::ALL {
+        let net = kind.build(stages);
+        println!(
+            "{:<28} {:>12} {:>14}",
+            kind.name(),
+            verify_self_routing(&net),
+            admissible_shift_count(&net)
+        );
+    }
+
+    println!("\nSwitch-level simulation (2000 cycles, unbuffered cells):");
+    println!(
+        "{:<28} {:>6} {:>12} {:>12} {:>10}",
+        "network", "load", "tput/port", "mean lat.", "dropped"
+    );
+    for kind in ClassicalNetwork::ALL {
+        for &load in &[0.4, 0.8, 1.0] {
+            let cfg = SimConfig::default()
+                .with_load(load)
+                .with_cycles(2_000, 100)
+                .with_seed(0x1988)
+                .with_buffer(BufferMode::Unbuffered);
+            let m = simulate(kind.build(stages), cfg).expect("delta network");
+            println!(
+                "{:<28} {:>6.2} {:>12.4} {:>12.2} {:>10}",
+                kind.name(),
+                load,
+                m.normalized_throughput(terminals),
+                m.mean_latency(),
+                m.dropped
+            );
+        }
+    }
+
+    println!("\nBuffered vs unbuffered, and uniform vs hot-spot (Omega, full load):");
+    let omega = networks::omega(stages);
+    for (label, cfg) in [
+        (
+            "unbuffered / uniform",
+            SimConfig::default().with_load(1.0).with_cycles(2_000, 100),
+        ),
+        (
+            "fifo(4)    / uniform",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(2_000, 100)
+                .with_buffer(BufferMode::Fifo(4)),
+        ),
+        (
+            "unbuffered / hot-spot 25%",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(2_000, 100)
+                .with_traffic(TrafficPattern::Hotspot {
+                    fraction: 0.25,
+                    target: 0,
+                }),
+        ),
+    ] {
+        let m = simulate(omega.clone(), cfg).expect("delta network");
+        println!(
+            "  {:<26} throughput/port = {:.4}, mean latency = {:.2}, acceptance = {:.2}",
+            label,
+            m.normalized_throughput(terminals),
+            m.mean_latency(),
+            m.acceptance_rate()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Experiments E4 and E5 — the PIPID machinery of Section 4.
+
+use baseline_equivalence::prelude::*;
+use min_core::independence::is_independent;
+use min_core::pipid::connection_from_pipid;
+use min_graph::paths::is_banyan;
+use min_labels::Permutation;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arbitrary_theta(width: usize) -> impl Strategy<Value = IndexPermutation> {
+    any::<u64>().prop_map(move |seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        IndexPermutation::random(width, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// E4: every PIPID stage induces an independent connection, and the
+    /// connection derived via the link-permutation table agrees with the
+    /// θ-based derivation.
+    #[test]
+    fn pipid_stages_are_independent(theta in arbitrary_theta(5)) {
+        let stage = connection_from_pipid(&theta);
+        prop_assert!(is_independent(&stage.connection));
+        let via_table = Connection::from_link_permutation(&Permutation::from_index_perm(&theta));
+        prop_assert_eq!(&stage.connection, &via_table);
+    }
+
+    /// E5: a PIPID stage has parallel links exactly when its critical digit
+    /// is zero, and exactly then it cannot take part in a Banyan network.
+    #[test]
+    fn critical_digit_controls_degeneracy(theta in arbitrary_theta(4)) {
+        let stage = connection_from_pipid(&theta);
+        prop_assert_eq!(stage.degenerate, stage.critical_digit == 0);
+        prop_assert_eq!(stage.connection.has_parallel_links(), stage.degenerate);
+        if stage.degenerate {
+            // Splice the degenerate stage into an otherwise healthy network:
+            // the Banyan property must fail.
+            let healthy = connection_from_pipid(&IndexPermutation::perfect_shuffle(4)).connection;
+            let net = ConnectionNetwork::new(3, vec![healthy.clone(), healthy, stage.connection]);
+            prop_assert!(!is_banyan(&net.to_digraph()));
+        }
+    }
+
+    /// Banyan networks assembled from random non-degenerate PIPID stages are
+    /// always Baseline-equivalent (the §4 corollary in its general form).
+    #[test]
+    fn random_pipid_banyan_networks_are_equivalent(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = min_networks::random::random_pipid_network(4, &mut rng);
+        let g = net.to_digraph();
+        if is_banyan(&g) {
+            let cert = baseline_isomorphism(&g).expect("corollary of Theorem 3");
+            prop_assert!(cert.verify(&g));
+        }
+    }
+}
+
+#[test]
+fn pipid_detection_recovers_the_stage_permutations_of_the_catalog() {
+    for n in 2..=6 {
+        for kind in ClassicalNetwork::ALL {
+            for theta in kind.thetas(n) {
+                let table = Permutation::from_index_perm(&theta);
+                assert_eq!(table.as_pipid().as_ref(), Some(&theta), "{kind} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn shuffle_powers_generate_the_expected_subgroup() {
+    // The perfect shuffle has order n: composing n shuffles is the identity,
+    // which is why the Omega network's "extra" input shuffle is irrelevant
+    // to its MI-digraph topology.
+    for n in 2..=8 {
+        let sigma = IndexPermutation::perfect_shuffle(n);
+        assert_eq!(sigma.order(), n);
+        let mut acc = IndexPermutation::identity(n);
+        for _ in 0..n {
+            acc = acc.compose(&sigma);
+        }
+        assert!(acc.is_identity());
+    }
+}

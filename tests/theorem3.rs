@@ -1,0 +1,127 @@
+//! Experiments E3, E7, E8 — Lemma 2, Proposition 1 and Theorem 3 on random
+//! instances (property-based).
+
+use baseline_equivalence::prelude::*;
+use min_core::affine_form::{affine_form, random_proper_independent_connection};
+use min_core::independence::{is_independent, is_independent_naive};
+use min_core::reverse::reverse_connection;
+use min_graph::components::component_ids_range;
+use min_graph::paths::is_banyan;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a proper independent connection on `width` bits, described by a
+/// seed so shrinking stays meaningful.
+fn proper_connection(width: usize) -> impl Strategy<Value = Connection> {
+    (any::<u64>(), any::<bool>()).prop_map(move |(seed, bijective)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        random_proper_independent_connection(width, bijective, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fast (basis) independence check agrees with the definitional one,
+    /// and independence is equivalent to the affine form existing.
+    #[test]
+    fn independence_checkers_agree(conn in proper_connection(4)) {
+        prop_assert!(is_independent_naive(&conn));
+        prop_assert!(is_independent(&conn));
+        prop_assert!(affine_form(&conn).is_some());
+    }
+
+    /// Proposition 1: the reverse of a proper independent connection is an
+    /// independent connection describing exactly the reversed arcs.
+    #[test]
+    fn proposition1_reverse_is_independent(conn in proper_connection(4)) {
+        let rev = reverse_connection(&conn).expect("proper independent connections reverse");
+        prop_assert!(is_independent(&rev));
+        // The reverse's reverse describes the original arcs again.
+        let back = reverse_connection(&rev).expect("the reverse is proper too");
+        for x in 0..conn.cells() as u64 {
+            let mut kids: Vec<u64> = vec![conn.f(x), conn.g(x)];
+            kids.sort_unstable();
+            let mut parents_of_x: Vec<u64> = vec![back.f(x), back.g(x)];
+            parents_of_x.sort_unstable();
+            prop_assert_eq!(kids.len(), 2);
+            prop_assert_eq!(parents_of_x.len(), 2);
+        }
+    }
+
+    /// Composing independent stages and keeping only the Banyan outcomes
+    /// always yields a Baseline-equivalent network (Theorem 3), with a
+    /// verified certificate.
+    #[test]
+    fn theorem3_banyan_plus_independent_implies_equivalent(
+        seeds in proptest::collection::vec(any::<u64>(), 3),
+        flags in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let width = 3usize;
+        let connections: Vec<Connection> = seeds
+            .iter()
+            .zip(flags.iter())
+            .map(|(&s, &b)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(s);
+                random_proper_independent_connection(width, b, &mut rng)
+            })
+            .collect();
+        let net = ConnectionNetwork::new(width, connections);
+        let g = net.to_digraph();
+        if is_banyan(&g) {
+            let cert = baseline_isomorphism(&g).expect("Theorem 3");
+            prop_assert!(cert.verify(&g));
+        } else {
+            // Not covered by Theorem 3; nothing to assert beyond sanity.
+            prop_assert!(net.is_proper());
+        }
+    }
+}
+
+#[test]
+fn lemma2_component_structure_on_independent_banyan_networks() {
+    // Lemma 2's induction invariant, checked directly: in a Banyan network
+    // built from independent connections, every component of (G)_{j,n}
+    // intersects every stage i >= j in exactly 2^{n-1-j} ... i.e. in equally
+    // many nodes (and the counts match P(*, n)).
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1e44);
+    let mut checked = 0;
+    for _ in 0..30 {
+        let Some(net) = min_networks::random::random_independent_banyan(4, 50, &mut rng) else {
+            continue;
+        };
+        let g = net.to_digraph();
+        let n = g.stages();
+        for j in 0..n {
+            let rc = component_ids_range(&g, j, n - 1);
+            assert_eq!(rc.count, 1usize << j, "P({},{n}) count", j + 1);
+            for i in j..n {
+                let sizes = rc.stage_intersection_sizes(i);
+                let expected = g.width() >> j;
+                assert!(
+                    sizes.iter().all(|&s| s == expected),
+                    "component of (G)_{{{},{}}} meets stage {} unevenly: {sizes:?}",
+                    j + 1,
+                    n,
+                    i + 1
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected several Banyan samples, got {checked}");
+}
+
+#[test]
+fn constant_difference_observation_from_lemma2() {
+    // "as the connection (f,g) is independent, f(x) ⊕ g(x) = f(y) ⊕ g(y)":
+    // holds for every stage of every catalog network.
+    for n in 2..=6 {
+        for kind in ClassicalNetwork::ALL {
+            for conn in kind.build(n).connections() {
+                assert!(conn.constant_difference().is_some(), "{kind} n={n}");
+            }
+        }
+    }
+}
