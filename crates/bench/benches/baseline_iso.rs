@@ -15,9 +15,11 @@ fn bench_baseline_iso(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_isomorphism");
     for &n in STAGE_SWEEP {
         let g = omega(n).to_digraph();
-        group.bench_with_input(BenchmarkId::new("constructive_certificate", n), &g, |b, g| {
-            b.iter(|| baseline_isomorphism(std::hint::black_box(g)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("constructive_certificate", n),
+            &g,
+            |b, g| b.iter(|| baseline_isomorphism(std::hint::black_box(g)).unwrap()),
+        );
     }
     group.finish();
 
@@ -25,9 +27,15 @@ fn bench_baseline_iso(c: &mut Criterion) {
     for &n in STAGE_SWEEP {
         let a = omega(n).to_digraph();
         let b_net = flip(n).to_digraph();
-        group.bench_with_input(BenchmarkId::new("omega_vs_flip", n), &(a, b_net), |b, (x, y)| {
-            b.iter(|| equivalence_mapping(std::hint::black_box(x), std::hint::black_box(y)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("omega_vs_flip", n),
+            &(a, b_net),
+            |b, (x, y)| {
+                b.iter(|| {
+                    equivalence_mapping(std::hint::black_box(x), std::hint::black_box(y)).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 
@@ -35,16 +43,20 @@ fn bench_baseline_iso(c: &mut Criterion) {
     for &n in &[3usize, 4] {
         let g = omega(n).to_digraph();
         let base = baseline_digraph(n);
-        group.bench_with_input(BenchmarkId::new("backtracking", n), &(g, base), |b, (g, base)| {
-            b.iter(|| {
-                assert!(find_isomorphism(
-                    std::hint::black_box(g),
-                    std::hint::black_box(base),
-                    u64::MAX
-                )
-                .is_isomorphic())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("backtracking", n),
+            &(g, base),
+            |b, (g, base)| {
+                b.iter(|| {
+                    assert!(find_isomorphism(
+                        std::hint::black_box(g),
+                        std::hint::black_box(base),
+                        u64::MAX
+                    )
+                    .is_isomorphic())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -39,7 +39,9 @@ fn bench_simulator(c: &mut Criterion) {
     let scenarios: Vec<(&str, SimConfig)> = vec![
         (
             "unbuffered_uniform",
-            SimConfig::default().with_load(1.0).with_cycles(SIM_CYCLES, 0),
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(SIM_CYCLES, 0),
         ),
         (
             "fifo4_uniform",

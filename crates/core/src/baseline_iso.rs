@@ -42,7 +42,11 @@ use min_graph::MiDigraph;
 /// recursion, applied within ever smaller halves.
 pub fn baseline_digraph(stages: usize) -> MiDigraph {
     assert!(stages >= 1, "a network needs at least one stage");
-    assert!(stages <= 33, "2^{} cells per stage would not fit in memory", stages - 1);
+    assert!(
+        stages <= 33,
+        "2^{} cells per stage would not fit in memory",
+        stages - 1
+    );
     let width_bits = stages - 1;
     let cells = 1usize << width_bits;
     let mut g = MiDigraph::new(stages, cells);
@@ -163,7 +167,7 @@ pub fn baseline_isomorphism(g: &MiDigraph) -> Result<BaselineIsomorphism, Equiva
                 values[cc] = (comp_high[i - 1][pc] << 1) | next_bit[pc];
                 next_bit[pc] += 1;
             }
-            if values.iter().any(|&v| v == u64::MAX) {
+            if values.contains(&u64::MAX) {
                 return Err(EquivalenceError::ComponentTreeNotBinary {
                     stage: i,
                     suffix: true,
@@ -234,7 +238,7 @@ pub fn baseline_isomorphism(g: &MiDigraph) -> Result<BaselineIsomorphism, Equiva
                 values[fc] = (comp_low[j + 1][cc] << 1) | next_bit[cc];
                 next_bit[cc] += 1;
             }
-            if values.iter().any(|&v| v == u64::MAX) {
+            if values.contains(&u64::MAX) {
                 return Err(EquivalenceError::ComponentTreeNotBinary {
                     stage: j,
                     suffix: false,
@@ -334,10 +338,7 @@ mod tests {
             // the construction mirrors exactly how the Baseline is built.
             for (s, stage_map) in cert.mapping.iter().enumerate() {
                 for (v, &img) in stage_map.iter().enumerate() {
-                    assert_eq!(
-                        img as usize, v,
-                        "stage {s} node {v} should map to itself"
-                    );
+                    assert_eq!(img as usize, v, "stage {s} node {v} should map to itself");
                 }
             }
         }
@@ -385,7 +386,10 @@ mod tests {
             assert!(cert.verify(&g));
             certified += 1;
         }
-        assert!(certified >= 1, "expected at least one Banyan sample, got {certified}");
+        assert!(
+            certified >= 1,
+            "expected at least one Banyan sample, got {certified}"
+        );
     }
 
     #[test]
@@ -393,7 +397,10 @@ mod tests {
         let g = MiDigraph::new(3, 5);
         assert_eq!(
             baseline_isomorphism(&g),
-            Err(EquivalenceError::WrongWidth { stages: 3, width: 5 })
+            Err(EquivalenceError::WrongWidth {
+                stages: 3,
+                width: 5
+            })
         );
     }
 
@@ -401,7 +408,10 @@ mod tests {
     fn irregular_graphs_are_rejected() {
         let mut g = MiDigraph::new(2, 2);
         g.add_arc(0, 0, 0);
-        assert_eq!(baseline_isomorphism(&g), Err(EquivalenceError::NotTwoRegular));
+        assert_eq!(
+            baseline_isomorphism(&g),
+            Err(EquivalenceError::NotTwoRegular)
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ mod tests {
         let g = ConnectionNetwork::new(2, vec![c0, degenerate]).to_digraph();
         let report = buddy_property(&g);
         assert!(!report.holds);
-        assert_eq!(report.violation.unwrap().0, 1, "violation is in the degenerate stage");
+        assert_eq!(
+            report.violation.unwrap().0,
+            1,
+            "violation is in the degenerate stage"
+        );
     }
 
     #[test]

@@ -64,9 +64,14 @@ impl Connection {
     /// stage, and the cell incident to an in-link is given by its `width`
     /// high-order digits, i.e. `A(2x + b) >> 1`.
     pub fn from_link_permutation(perm: &Permutation) -> Self {
-        assert!(perm.width() >= 1, "a link permutation needs at least 1 digit");
+        assert!(
+            perm.width() >= 1,
+            "a link permutation needs at least 1 digit"
+        );
         let width = perm.width() - 1;
-        let f = all_labels(width).map(|x| (perm.apply(2 * x) >> 1) as u32).collect();
+        let f = all_labels(width)
+            .map(|x| (perm.apply(2 * x) >> 1) as u32)
+            .collect();
         let g = all_labels(width)
             .map(|x| (perm.apply(2 * x + 1) >> 1) as u32)
             .collect();
@@ -196,8 +201,16 @@ impl Connection {
         assert_eq!(sigma.width(), self.width, "widths must match");
         Connection {
             width: self.width,
-            f: self.f.iter().map(|&y| sigma.apply(y as u64) as u32).collect(),
-            g: self.g.iter().map(|&y| sigma.apply(y as u64) as u32).collect(),
+            f: self
+                .f
+                .iter()
+                .map(|&y| sigma.apply(y as u64) as u32)
+                .collect(),
+            g: self
+                .g
+                .iter()
+                .map(|&y| sigma.apply(y as u64) as u32)
+                .collect(),
         }
     }
 }

@@ -178,7 +178,11 @@ mod tests {
         // A single non-affine stage breaks the delta property and the
         // witness must demonstrate it.
         let table: [u64; 4] = [0, 1, 3, 2];
-        let conn = Connection::from_fn(2, move |x| table[x as usize], move |x| table[x as usize] ^ 2);
+        let conn = Connection::from_fn(
+            2,
+            move |x| table[x as usize],
+            move |x| table[x as usize] ^ 2,
+        );
         let id_stage = Connection::from_fn(2, |x| x >> 1, |x| (x >> 1) | 2);
         let net = ConnectionNetwork::new(2, vec![conn, id_stage]);
         let report = delta_report(&net);

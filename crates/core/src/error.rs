@@ -140,7 +140,10 @@ impl std::fmt::Display for EquivalenceError {
                 if *suffix { "suffix" } else { "prefix" }
             ),
             EquivalenceError::LabelCollision { stage } => {
-                write!(f, "two nodes of stage {stage} received the same canonical label")
+                write!(
+                    f,
+                    "two nodes of stage {stage} received the same canonical label"
+                )
             }
             EquivalenceError::VerificationFailed => {
                 write!(f, "final verification of the canonical relabelling failed")

@@ -244,7 +244,10 @@ mod tests {
                 independents += 1;
             }
         }
-        assert!(independents >= 10, "the affine third must all be independent");
+        assert!(
+            independents >= 10,
+            "the affine third must all be independent"
+        );
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl ConnectionNetwork {
 
     /// The reverse network with every stage decomposed by Proposition 1
     /// (requires every stage to be a proper independent connection).
-    pub fn reverse_via_proposition1(&self) -> Result<ConnectionNetwork, crate::error::ReverseError> {
+    pub fn reverse_via_proposition1(
+        &self,
+    ) -> Result<ConnectionNetwork, crate::error::ReverseError> {
         let mut rev_connections = Vec::with_capacity(self.connections.len());
         for conn in self.connections.iter().rev() {
             rev_connections.push(crate::reverse::reverse_connection(conn)?);
@@ -194,7 +196,10 @@ mod tests {
         g.add_arc(0, 0, 0);
         assert!(ConnectionNetwork::from_digraph(&g).is_none());
         let h = MiDigraph::new(2, 3);
-        assert!(ConnectionNetwork::from_digraph(&h).is_none(), "width must be a power of two");
+        assert!(
+            ConnectionNetwork::from_digraph(&h).is_none(),
+            "width must be a power of two"
+        );
     }
 
     #[test]

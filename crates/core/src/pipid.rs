@@ -46,7 +46,9 @@ pub struct PipidStage {
 impl PipidStage {
     /// The digit permutation θ this stage was built from.
     pub fn theta(&self) -> &IndexPermutation {
-        self.theta.as_ref().expect("constructed via connection_from_pipid")
+        self.theta
+            .as_ref()
+            .expect("constructed via connection_from_pipid")
     }
 }
 
@@ -170,11 +172,10 @@ mod tests {
         let thetas = vec![IndexPermutation::perfect_shuffle(n); n - 1];
         let stages = connections_from_pipids(&thetas);
         assert_eq!(stages.len(), 3);
-        let net = ConnectionNetwork::new(
-            n - 1,
-            stages.into_iter().map(|s| s.connection).collect(),
-        );
+        let net = ConnectionNetwork::new(n - 1, stages.into_iter().map(|s| s.connection).collect());
         assert!(is_banyan(&net.to_digraph()));
-        assert!(crate::properties::satisfies_characterization(&net.to_digraph()));
+        assert!(crate::properties::satisfies_characterization(
+            &net.to_digraph()
+        ));
     }
 }

@@ -94,9 +94,7 @@ impl CharacterizationReport {
 
 /// Evaluates every hypothesis of the characterization theorem.
 pub fn characterization_report(g: &MiDigraph) -> CharacterizationReport {
-    let width_ok = g.stages() >= 1
-        && g.width() == (1usize << (g.stages() - 1))
-        && g.is_proper();
+    let width_ok = g.stages() >= 1 && g.width() == (1usize << (g.stages() - 1)) && g.is_proper();
     let banyan = is_banyan(g);
     let prefix = prefix_sweep(g);
     let suffix = suffix_sweep(g);
@@ -160,7 +158,10 @@ mod tests {
             let g = baseline(n);
             assert!(p_one_star(&g), "P(1,*) fails for baseline n={n}");
             assert!(p_star_n(&g), "P(*,n) fails for baseline n={n}");
-            assert!(satisfies_characterization(&g), "characterization fails n={n}");
+            assert!(
+                satisfies_characterization(&g),
+                "characterization fails n={n}"
+            );
             let report = characterization_report(&g);
             assert!(report.proper_shape && report.banyan);
         }
@@ -227,7 +228,10 @@ mod tests {
                 fails += 1;
             }
         }
-        assert!(fails >= 8, "random networks should essentially never qualify");
+        assert!(
+            fails >= 8,
+            "random networks should essentially never qualify"
+        );
     }
 
     #[test]

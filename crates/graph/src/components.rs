@@ -258,7 +258,11 @@ mod tests {
         let g = baseline8();
         let sweep = prefix_sweep(&g);
         for j in 0..3 {
-            assert_eq!(sweep.counts[j], component_count_range(&g, 0, j), "prefix 0..={j}");
+            assert_eq!(
+                sweep.counts[j],
+                component_count_range(&g, 0, j),
+                "prefix 0..={j}"
+            );
         }
         // P(1,*) for the Baseline: counts must be 2^{n-1-j} = 4, 2, 1.
         assert_eq!(sweep.counts, vec![4, 2, 1]);

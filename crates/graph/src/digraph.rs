@@ -122,9 +122,10 @@ impl MiDigraph {
     /// Iterates over all arcs as `(stage, from, to)` triples.
     pub fn arcs(&self) -> impl Iterator<Item = (usize, u32, u32)> + '_ {
         self.fwd.iter().enumerate().flat_map(|(s, stage)| {
-            stage.iter().enumerate().flat_map(move |(v, kids)| {
-                kids.iter().map(move |&c| (s, v as u32, c))
-            })
+            stage
+                .iter()
+                .enumerate()
+                .flat_map(move |(v, kids)| kids.iter().map(move |&c| (s, v as u32, c)))
         })
     }
 
@@ -212,7 +213,10 @@ impl MiDigraph {
             assert_eq!(m.len(), self.width, "each map must cover the stage");
             let mut seen = vec![false; self.width];
             for &t in m {
-                assert!((t as usize) < self.width && !seen[t as usize], "not a bijection");
+                assert!(
+                    (t as usize) < self.width && !seen[t as usize],
+                    "not a bijection"
+                );
                 seen[t as usize] = true;
             }
         }
@@ -345,11 +349,7 @@ mod tests {
     fn relabel_preserves_structure() {
         let g = sample();
         // Swap nodes 0 and 1 in stage 1 only.
-        let mapping = vec![
-            vec![0, 1, 2, 3],
-            vec![1, 0, 2, 3],
-            vec![0, 1, 2, 3],
-        ];
+        let mapping = vec![vec![0, 1, 2, 3], vec![1, 0, 2, 3], vec![0, 1, 2, 3]];
         let h = g.relabel(&mapping);
         assert_eq!(h.arc_count(), g.arc_count());
         // The arc (0,0) -> (1,0) must now point at (1,1).

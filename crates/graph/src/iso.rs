@@ -156,6 +156,9 @@ pub fn find_isomorphism(g: &MiDigraph, h: &MiDigraph, node_budget: u64) -> IsoSe
 
     // Order nodes stage by stage so that when a node is assigned, all its
     // parents are already assigned and the arcs to them can be checked.
+    // The search state is genuinely nine-dimensional; bundling it into a
+    // struct would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn backtrack(
         g: &MiDigraph,
         h: &MiDigraph,
@@ -191,8 +194,14 @@ pub fn find_isomorphism(g: &MiDigraph, h: &MiDigraph, node_budget: u64) -> IsoSe
             // the per-graph colourings only as a heuristic filter on the
             // degree signature (colour ids are not directly comparable
             // across graphs, so compare class sizes instead).
-            let g_class = gc.colors[s].iter().filter(|&&c| c == gc.colors[s][v as usize]).count();
-            let h_class = hc.colors[s].iter().filter(|&&c| c == hc.colors[s][x as usize]).count();
+            let g_class = gc.colors[s]
+                .iter()
+                .filter(|&&c| c == gc.colors[s][v as usize])
+                .count();
+            let h_class = hc.colors[s]
+                .iter()
+                .filter(|&&c| c == hc.colors[s][x as usize])
+                .count();
             if g_class != h_class {
                 continue;
             }
@@ -219,7 +228,15 @@ pub fn find_isomorphism(g: &MiDigraph, h: &MiDigraph, node_budget: u64) -> IsoSe
     }
 
     match backtrack(
-        g, h, &gc, &hc, &mut mapping, &mut used, 0, &mut visited, node_budget,
+        g,
+        h,
+        &gc,
+        &hc,
+        &mut mapping,
+        &mut used,
+        0,
+        &mut visited,
+        node_budget,
     ) {
         Some(true) => {
             debug_assert!(verify_stage_mapping(g, h, &mapping));
@@ -324,7 +341,10 @@ mod tests {
         let g = baseline8();
         let mut h = baseline8();
         h.add_arc(0, 0, 0);
-        assert_eq!(find_isomorphism(&g, &h, 10), IsoSearchOutcome::NotIsomorphic);
+        assert_eq!(
+            find_isomorphism(&g, &h, 10),
+            IsoSearchOutcome::NotIsomorphic
+        );
     }
 
     #[test]

@@ -45,6 +45,10 @@ impl Coloring {
     }
 }
 
+/// Per-node refinement signature: own colour, sorted child colours, sorted
+/// parent colours.
+type NodeSignature = (u32, Vec<u32>, Vec<u32>);
+
 /// Runs colour refinement to a fixed point.
 pub fn color_refinement(g: &MiDigraph) -> Coloring {
     let n = g.stages();
@@ -57,7 +61,7 @@ pub fn color_refinement(g: &MiDigraph) -> Coloring {
     loop {
         rounds += 1;
         // Signature of each node: (own colour, sorted child colours, sorted parent colours).
-        let mut signatures: Vec<Vec<(u32, Vec<u32>, Vec<u32>)>> = Vec::with_capacity(n);
+        let mut signatures: Vec<Vec<NodeSignature>> = Vec::with_capacity(n);
         for s in 0..n {
             let mut stage_sigs = Vec::with_capacity(w);
             for v in 0..w as u32 {
@@ -78,7 +82,7 @@ pub fn color_refinement(g: &MiDigraph) -> Coloring {
             signatures.push(stage_sigs);
         }
         // Canonicalise signatures to new colours.
-        let mut sig_to_color: HashMap<(u32, Vec<u32>, Vec<u32>), u32> = HashMap::new();
+        let mut sig_to_color: HashMap<NodeSignature, u32> = HashMap::new();
         let mut next_color = 0u32;
         let mut new_colors: Vec<Vec<u32>> = Vec::with_capacity(n);
         for stage_sigs in signatures {

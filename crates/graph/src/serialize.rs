@@ -64,12 +64,10 @@ pub fn to_text(g: &MiDigraph) -> String {
 /// Parses the line format back into a digraph.
 pub fn from_text(text: &str) -> Result<MiDigraph, ParseError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseError {
-            line: 1,
-            message: "empty input".into(),
-        })?;
+    let (_, header) = lines.next().ok_or_else(|| ParseError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
     let header_err = |msg: &str| ParseError {
         line: 1,
         message: msg.to_string(),

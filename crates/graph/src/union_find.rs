@@ -128,7 +128,10 @@ mod tests {
         assert_eq!(ids[0], ids[2]);
         assert_eq!(ids[3], ids[5]);
         assert_ne!(ids[0], ids[3]);
-        assert_eq!(*ids.iter().max().unwrap() as usize + 1, uf.component_count());
+        assert_eq!(
+            *ids.iter().max().unwrap() as usize + 1,
+            uf.component_count()
+        );
         // ids are numbered in first-appearance order, so element 0 gets id 0.
         assert_eq!(ids[0], 0);
         assert_eq!(ids[1], 1);

@@ -44,7 +44,11 @@ impl IndexPermutation {
         crate::check_width(map.len());
         let mut seen = vec![false; map.len()];
         for &t in &map {
-            assert!(t < map.len(), "index {t} out of range for width {}", map.len());
+            assert!(
+                t < map.len(),
+                "index {t} out of range for width {}",
+                map.len()
+            );
             assert!(!seen[t], "index {t} appears twice: not a permutation");
             seen[t] = true;
         }
@@ -59,7 +63,13 @@ impl IndexPermutation {
         // Result digit i (for i >= 1) is source digit i-1; result digit 0 is
         // source digit width-1.
         let map = (0..width)
-            .map(|i| if i == 0 { width.saturating_sub(1) } else { i - 1 })
+            .map(|i| {
+                if i == 0 {
+                    width.saturating_sub(1)
+                } else {
+                    i - 1
+                }
+            })
             .collect();
         IndexPermutation { map }
     }
@@ -97,7 +107,10 @@ impl IndexPermutation {
     /// others fixed (Pease's indirect binary n-cube is built from these).
     pub fn butterfly(width: Width, k: usize) -> Self {
         crate::check_width(width);
-        assert!(k < width, "butterfly digit {k} out of range for width {width}");
+        assert!(
+            k < width,
+            "butterfly digit {k} out of range for width {width}"
+        );
         let mut map: Vec<usize> = (0..width).collect();
         map.swap(0, k);
         IndexPermutation { map }
@@ -316,7 +329,7 @@ mod tests {
         let b = IndexPermutation::butterfly(4, 2);
         assert_eq!(b.apply(0b0001), 0b0100);
         assert_eq!(b.apply(0b0100), 0b0001);
-        assert_eq!(b.apply(0b1010), 0b1010 ^ 0); // digits 1 and 3 untouched, 2<->0: 0b1010 has bit1,bit3 -> unchanged
+        assert_eq!(b.apply(0b1010), 0b1010); // digits 1 and 3 untouched, 2<->0: 0b1010 has bit1,bit3 -> unchanged
         assert_eq!(b.apply(0b0101), 0b0101); // bits 0 and 2 both set: swap is a no-op
         assert_eq!(b.order(), 2);
     }

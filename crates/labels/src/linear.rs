@@ -66,7 +66,9 @@ impl LinearMap {
     /// see [`LinearMap::agrees_with`].)
     pub fn interpolate<F: Fn(Label) -> Label>(width_in: Width, width_out: Width, func: F) -> Self {
         let f0 = func(0);
-        let columns = (0..width_in).map(|j| (func(1u64 << j) ^ f0) & mask(width_out)).collect();
+        let columns = (0..width_in)
+            .map(|j| (func(1u64 << j) ^ f0) & mask(width_out))
+            .collect();
         LinearMap {
             width_in,
             width_out,
@@ -155,7 +157,7 @@ impl LinearMap {
                 kernel_gens.push(combo);
             } else {
                 reduced.push((val, combo));
-                reduced.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+                reduced.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
             }
         }
         Subspace::from_generators(self.width_in, kernel_gens)

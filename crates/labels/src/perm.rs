@@ -115,7 +115,11 @@ impl Permutation {
         assert_eq!(self.width, other.width, "widths must match");
         Permutation {
             width: self.width,
-            table: other.table.iter().map(|&y| self.table[y as usize]).collect(),
+            table: other
+                .table
+                .iter()
+                .map(|&y| self.table[y as usize])
+                .collect(),
         }
     }
 
@@ -150,7 +154,7 @@ impl Permutation {
             }
             theta_map[i] = j;
         }
-        if theta_map.iter().any(|&t| t == usize::MAX) {
+        if theta_map.contains(&usize::MAX) {
             return None;
         }
         let theta = IndexPermutation::from_map(theta_map);

@@ -52,15 +52,24 @@ impl NetworkBuilder {
     /// Appends a stage given as a permutation of the `2^{width+1}` link
     /// labels (the classical drawing of Fig. 4).
     pub fn push_link_permutation(mut self, perm: &Permutation) -> Self {
-        assert_eq!(perm.width(), self.width + 1, "link labels have width+1 digits");
-        self.connections.push(Connection::from_link_permutation(perm));
+        assert_eq!(
+            perm.width(),
+            self.width + 1,
+            "link labels have width+1 digits"
+        );
+        self.connections
+            .push(Connection::from_link_permutation(perm));
         self.pipid_stages.push(perm.as_pipid());
         self
     }
 
     /// Appends a stage given as a PIPID digit permutation θ (§4).
     pub fn push_pipid(mut self, theta: &IndexPermutation) -> Self {
-        assert_eq!(theta.width(), self.width + 1, "link labels have width+1 digits");
+        assert_eq!(
+            theta.width(),
+            self.width + 1,
+            "link labels have width+1 digits"
+        );
         let stage = connection_from_pipid(theta);
         self.connections.push(stage.connection);
         self.pipid_stages.push(Some(theta.clone()));

@@ -26,7 +26,11 @@ use min_labels::IndexPermutation;
 /// Builds a network from one digit permutation per inter-stage link.
 fn from_thetas(n: usize, thetas: &[IndexPermutation]) -> ConnectionNetwork {
     assert!(n >= 2, "a multistage network needs at least two stages");
-    assert_eq!(thetas.len(), n - 1, "an n-stage network has n-1 connections");
+    assert_eq!(
+        thetas.len(),
+        n - 1,
+        "an n-stage network has n-1 connections"
+    );
     let connections = thetas
         .iter()
         .map(|t| {
@@ -156,7 +160,10 @@ mod tests {
             assert!(is_banyan(&omega(n).to_digraph()), "omega {n}");
             assert!(is_banyan(&flip(n).to_digraph()), "flip {n}");
             assert!(is_banyan(&baseline(n).to_digraph()), "baseline {n}");
-            assert!(is_banyan(&reverse_baseline(n).to_digraph()), "reverse baseline {n}");
+            assert!(
+                is_banyan(&reverse_baseline(n).to_digraph()),
+                "reverse baseline {n}"
+            );
             assert!(is_banyan(&indirect_binary_cube(n).to_digraph()), "cube {n}");
             assert!(
                 is_banyan(&modified_data_manipulator(n).to_digraph()),
@@ -210,8 +217,12 @@ mod tests {
             assert!(satisfies_characterization(&omega(n).to_digraph()));
             assert!(satisfies_characterization(&flip(n).to_digraph()));
             assert!(satisfies_characterization(&baseline(n).to_digraph()));
-            assert!(satisfies_characterization(&reverse_baseline(n).to_digraph()));
-            assert!(satisfies_characterization(&indirect_binary_cube(n).to_digraph()));
+            assert!(satisfies_characterization(
+                &reverse_baseline(n).to_digraph()
+            ));
+            assert!(satisfies_characterization(
+                &indirect_binary_cube(n).to_digraph()
+            ));
             assert!(satisfies_characterization(
                 &modified_data_manipulator(n).to_digraph()
             ));

@@ -112,7 +112,9 @@ pub fn admissible_shift_count(net: &ConnectionNetwork) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use min_networks::{baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline};
+    use min_networks::{
+        baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline,
+    };
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

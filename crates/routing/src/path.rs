@@ -155,7 +155,11 @@ mod tests {
                 for (s, &port) in p.ports.iter().enumerate() {
                     let conn = net.connection(s);
                     let from = u64::from(p.cells[s]);
-                    let expected = if port == 0 { conn.f(from) } else { conn.g(from) };
+                    let expected = if port == 0 {
+                        conn.f(from)
+                    } else {
+                        conn.g(from)
+                    };
                     assert_eq!(expected, u64::from(p.cells[s + 1]));
                 }
             }

@@ -166,7 +166,10 @@ mod tests {
                 blocked += 1;
             }
         }
-        assert!(admissible > 0, "omega realizes ~2^(n·N/2) of the N! permutations");
+        assert!(
+            admissible > 0,
+            "omega realizes ~2^(n·N/2) of the N! permutations"
+        );
         assert!(blocked > 0, "omega is a blocking network");
     }
 
@@ -204,7 +207,10 @@ mod tests {
                 break;
             }
         }
-        assert!(differs, "expected some pattern to distinguish the labellings");
+        assert!(
+            differs,
+            "expected some pattern to distinguish the labellings"
+        );
         // The named patterns below are exercised for coverage regardless of
         // which network accepts them.
         for perm in [

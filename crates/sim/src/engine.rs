@@ -242,11 +242,8 @@ mod tests {
     #[test]
     fn conservation_holds_in_both_buffer_modes() {
         for mode in [BufferMode::Unbuffered, BufferMode::Fifo(4)] {
-            let metrics = simulate(
-                omega(4),
-                quick_config().with_load(0.9).with_buffer(mode),
-            )
-            .unwrap();
+            let metrics =
+                simulate(omega(4), quick_config().with_load(0.9).with_buffer(mode)).unwrap();
             assert_eq!(
                 metrics.injected,
                 metrics.delivered + metrics.dropped + metrics.in_flight_at_end,
@@ -259,7 +256,10 @@ mod tests {
     #[test]
     fn unbuffered_mode_drops_under_heavy_load() {
         let metrics = simulate(omega(4), quick_config().with_load(1.0)).unwrap();
-        assert!(metrics.dropped > 0, "full load must cause arbitration losses");
+        assert!(
+            metrics.dropped > 0,
+            "full load must cause arbitration losses"
+        );
         // Patel's analysis: the per-terminal throughput of an unbuffered
         // 4-stage delta network at full load is ≈ 0.52 — well below 1 and
         // above ~0.4.
@@ -272,10 +272,15 @@ mod tests {
         let unbuffered = simulate(omega(4), quick_config().with_load(1.0)).unwrap();
         let buffered = simulate(
             omega(4),
-            quick_config().with_load(1.0).with_buffer(BufferMode::Fifo(8)),
+            quick_config()
+                .with_load(1.0)
+                .with_buffer(BufferMode::Fifo(8)),
         )
         .unwrap();
-        assert!(unbuffered.dropped > 0, "the unbuffered fabric loses packets");
+        assert!(
+            unbuffered.dropped > 0,
+            "the unbuffered fabric loses packets"
+        );
         assert_eq!(buffered.dropped, 0, "backpressure replaces dropping");
         assert!(buffered.delivered > 0);
         // With FIFOs, the fabric instead refuses injections when the source
@@ -287,7 +292,10 @@ mod tests {
     fn low_load_uniform_traffic_is_delivered_almost_losslessly() {
         let metrics = simulate(omega(4), quick_config().with_load(0.1)).unwrap();
         let loss_rate = metrics.dropped as f64 / metrics.injected.max(1) as f64;
-        assert!(loss_rate < 0.2, "loss rate {loss_rate} too high at 10% load");
+        assert!(
+            loss_rate < 0.2,
+            "loss rate {loss_rate} too high at 10% load"
+        );
         assert!(metrics.mean_latency() >= (omega(4).stages() - 1) as f64 * 0.9);
     }
 
@@ -318,7 +326,9 @@ mod tests {
         // produce statistically indistinguishable throughput; with a finite
         // run we allow a 10% band.
         let cfg = quick_config().with_load(0.8).with_cycles(1_500, 0);
-        let a = simulate(omega(4), cfg.clone()).unwrap().normalized_throughput(8);
+        let a = simulate(omega(4), cfg.clone())
+            .unwrap()
+            .normalized_throughput(8);
         let b = simulate(baseline(4), cfg).unwrap().normalized_throughput(8);
         let rel = (a - b).abs() / a.max(b);
         assert!(rel < 0.10, "throughputs {a} vs {b} differ by {rel}");

@@ -26,7 +26,13 @@ pub enum TrafficPattern {
 impl TrafficPattern {
     /// Draws a destination for a packet injected at `source`, given `cells`
     /// cells per stage and `width_bits = log2(cells)`.
-    pub fn destination<R: Rng>(&self, source: u32, cells: u32, width_bits: usize, rng: &mut R) -> u32 {
+    pub fn destination<R: Rng>(
+        &self,
+        source: u32,
+        cells: u32,
+        width_bits: usize,
+        rng: &mut R,
+    ) -> u32 {
         match self {
             TrafficPattern::Uniform => rng.gen_range(0..cells),
             TrafficPattern::Hotspot { fraction, target } => {
@@ -57,7 +63,7 @@ mod tests {
     #[test]
     fn uniform_covers_all_destinations() {
         let mut rng = ChaCha8Rng::seed_from_u64(211);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..500 {
             let d = TrafficPattern::Uniform.destination(0, 8, 3, &mut rng);
             seen[d as usize] = true;

@@ -36,7 +36,9 @@ fn main() {
             describe(&g);
             println!("{}", to_text(&g));
         }
-        None => println!("none found within {attempts} attempts (Banyan wiring is rare at this size)"),
+        None => {
+            println!("none found within {attempts} attempts (Banyan wiring is rare at this size)")
+        }
     }
 
     println!("-- Random buddy-but-not-equivalent instance (Agrawal's gap) --");

@@ -13,7 +13,7 @@ use baseline_equivalence::prelude::*;
 use min_core::properties::characterization_report;
 use min_graph::iso::verify_stage_mapping;
 use min_networks::counterexample;
-use rayon::prelude::*;
+use std::thread;
 
 fn main() {
     let stages: usize = std::env::args()
@@ -35,22 +35,27 @@ fn main() {
     }
     println!();
 
-    // The 36 cells of the matrix are independent; compute them in parallel
-    // (rayon) and print row by row.
-    let matrix: Vec<Vec<&'static str>> = (0..kinds.len())
-        .into_par_iter()
-        .map(|i| {
-            (0..kinds.len())
-                .map(|j| match equivalence_mapping(&digraphs[i], &digraphs[j]) {
-                    Ok(mapping) => {
-                        assert!(verify_stage_mapping(&digraphs[i], &digraphs[j], &mapping));
-                        "  ≅     "
-                    }
-                    Err(_) => "  ✗     ",
+    // The 36 cells of the matrix are independent; compute them with one
+    // scoped thread per row and print row by row.
+    let matrix: Vec<Vec<&'static str>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..kinds.len())
+            .map(|i| {
+                let digraphs = &digraphs;
+                scope.spawn(move || {
+                    (0..kinds.len())
+                        .map(|j| match equivalence_mapping(&digraphs[i], &digraphs[j]) {
+                            Ok(mapping) => {
+                                assert!(verify_stage_mapping(&digraphs[i], &digraphs[j], &mapping));
+                                "  ≅     "
+                            }
+                            Err(_) => "  ✗     ",
+                        })
+                        .collect()
                 })
-                .collect()
-        })
-        .collect();
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
     for (i, a) in kinds.iter().enumerate() {
         print!("{:<28}", a.name());
         for mark in &matrix[i] {

@@ -52,7 +52,15 @@ fn main() {
             .take(8)
             .map(|(v, img)| format!("{v}→{img}"))
             .collect();
-        println!("  stage {s}: {}{}", row.join(" "), if cert.mapping[s].len() > 8 { " …" } else { "" });
+        println!(
+            "  stage {s}: {}{}",
+            row.join(" "),
+            if cert.mapping[s].len() > 8 {
+                " …"
+            } else {
+                ""
+            }
+        );
     }
     if stages > show {
         println!("  … ({} more stages)", stages - show);

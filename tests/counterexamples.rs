@@ -18,7 +18,11 @@ fn banyan_alone_does_not_imply_equivalence() {
     assert!(is_banyan(&g));
     // The constructive algorithm refuses with a precise P-property diagnosis…
     match baseline_isomorphism(&g) {
-        Err(EquivalenceError::PrefixComponentCount { stage, expected, actual }) => {
+        Err(EquivalenceError::PrefixComponentCount {
+            stage,
+            expected,
+            actual,
+        }) => {
             assert_eq!(stage, 1);
             assert_eq!(expected, 2);
             assert_eq!(actual, 1);

@@ -33,7 +33,11 @@ fn tags_and_unique_paths_agree() {
             let tag = u64::from(table.tag_of_destination[dst as usize]);
             let path = route_terminals(&net, src * 2, dst * 2).unwrap().path;
             for (s, &port) in path.ports.iter().enumerate() {
-                assert_eq!(u64::from(port), (tag >> s) & 1, "src={src} dst={dst} stage={s}");
+                assert_eq!(
+                    u64::from(port),
+                    (tag >> s) & 1,
+                    "src={src} dst={dst} stage={s}"
+                );
             }
         }
     }

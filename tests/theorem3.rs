@@ -110,7 +110,10 @@ fn lemma2_component_structure_on_independent_banyan_networks() {
         }
         checked += 1;
     }
-    assert!(checked >= 5, "expected several Banyan samples, got {checked}");
+    assert!(
+        checked >= 5,
+        "expected several Banyan samples, got {checked}"
+    );
 }
 
 #[test]

@@ -1,0 +1,434 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored serde subset.
+//!
+//! The offline build environment provides neither `syn` nor `quote`, so the
+//! input item is parsed directly from the `proc_macro` token stream. The
+//! supported grammar covers what the workspace actually derives on: structs
+//! with named fields, tuple structs, and enums whose variants are unit,
+//! tuple, or struct-like — plus the `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: its name (or tuple position) and whether it is skipped.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`), reporting whether any of them is
+/// `#[serde(skip)]` (or `skip_serializing` / `skip_deserializing`, which this
+/// subset treats identically).
+fn eat_attrs<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") && text.contains("skip") {
+                skip = true;
+            }
+        } else {
+            panic!("serde_derive: malformed attribute");
+        }
+    }
+    skip
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn eat_vis<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Skips a `<...>` generics list (balanced on angle depth). The workspace
+/// derives only on non-generic types; generics in the *input* position are
+/// tolerated but rejected, since the generated impl would not compile.
+fn reject_generics<I: Iterator<Item = TokenTree>>(tokens: &mut std::iter::Peekable<I>, name: &str) {
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+}
+
+/// Splits the tokens of a field list group on top-level commas.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|piece| {
+            let mut it = piece.into_iter().peekable();
+            let skip = eat_attrs(&mut it);
+            eat_vis(&mut it);
+            match it.next() {
+                Some(TokenTree::Ident(name)) => Field {
+                    name: name.to_string(),
+                    skip,
+                },
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .enumerate()
+        .map(|(i, piece)| {
+            let mut it = piece.into_iter().peekable();
+            let skip = eat_attrs(&mut it);
+            Field {
+                name: i.to_string(),
+                skip,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    while it.peek().is_some() {
+        eat_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume an optional discriminant (`= expr`) and the trailing comma.
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    eat_attrs(&mut it);
+    eat_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    reject_generics(&mut it, &name);
+    match kind.as_str() {
+        "struct" => {
+            let shape = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn ser_fields_named(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("let mut entries = ::std::vec::Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "entries.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("::serde::Value::Map(entries)");
+    out
+}
+
+/// Constructor arguments for a tuple shape: skipped fields take their
+/// `Default`, live fields read consecutive sequence slots.
+fn de_fields_tuple(fields: &[Field]) -> (usize, String) {
+    let mut slot = 0usize;
+    let args: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                "::std::default::Default::default()".to_string()
+            } else {
+                let a = format!("::serde::Deserialize::from_value(&elems[{slot}])?");
+                slot += 1;
+                a
+            }
+        })
+        .collect();
+    (slot, args.join(", "))
+}
+
+fn de_fields_named(ty: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default(),\n", f.name)
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::from_value(::serde::map_get(entries, \"{n}\")?)?,\n",
+                    n = f.name
+                )
+            }
+        })
+        .collect();
+    format!("{ty} {{ {inits} }}")
+}
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let expr = match &shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) => ser_fields_named(fields, "&self."),
+                Shape::Tuple(fields) => {
+                    let elems: Vec<String> = fields
+                        .iter()
+                        .filter(|f| !f.skip)
+                        .map(|f| format!("::serde::Serialize::to_value(&self.{})", f.name))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {expr} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        ),
+                        Shape::Tuple(fields) => {
+                            let binders: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| {
+                                    if f.skip {
+                                        "_".to_string()
+                                    } else {
+                                        format!("__f{i}")
+                                    }
+                                })
+                                .collect();
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .filter(|b| *b != "_")
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({bs}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Seq(::std::vec![{es}]))]),\n",
+                                bs = binders.join(", "),
+                                es = elems.join(", "),
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binders: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect();
+                            let inner = ser_fields_named(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {bs} }} => {{\n\
+                                 let payload = {{ {inner} }};\n\
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), payload)])\n}},\n",
+                                bs = binders.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let expr = match &shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Named(fields) => format!(
+                    "let entries = v.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                     Ok({})",
+                    de_fields_named(&name, fields)
+                ),
+                Shape::Tuple(fields) => {
+                    let (len, args) = de_fields_tuple(fields);
+                    format!(
+                        "let elems = v.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                         if elems.len() != {len} {{ return Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {name}\")); }}\n\
+                         Ok({name}({args}))",
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {expr} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Tuple(fields) => {
+                            let (len, args) = de_fields_tuple(fields);
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                 let elems = payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence payload\"))?;\n\
+                                 if elems.len() != {len} {{ return Err(::serde::Error::custom(\
+                                 \"wrong payload arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({args}))\n}},\n",
+                            )
+                        }
+                        Shape::Named(fields) => format!(
+                            "\"{vn}\" => {{\n\
+                             let entries = payload.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map payload\"))?;\n\
+                             Ok({})\n}},\n",
+                            de_fields_named(&format!("{name}::{vn}"), fields)
+                        ),
+                        Shape::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or 1-entry map for {name}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
