@@ -1,0 +1,45 @@
+//! Scenario-campaign throughput: wall-clock cost of expanding and running a
+//! small catalog grid, sequentially and fanned out across worker threads.
+//! The scenarios-per-second throughput column is the number the CI perf
+//! artifact tracks for the campaign subsystem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use min_bench::{configure, BENCH_SEED};
+use min_sim::campaign::{run_campaign, CampaignConfig};
+use min_sim::TrafficPattern;
+
+fn small_campaign() -> CampaignConfig {
+    CampaignConfig::over_catalog(3..=4)
+        .with_seed(BENCH_SEED)
+        .with_traffic(vec![TrafficPattern::Uniform, TrafficPattern::BitReversal])
+        .with_loads(vec![0.5, 1.0])
+        .with_cycles(120, 0)
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let config = small_campaign();
+    let scenarios = config.scenario_count() as u64;
+
+    let mut group = c.benchmark_group("campaign_run");
+    group.throughput(Throughput::Elements(scenarios));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("catalog_n3_n4", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_campaign(&config, threads).unwrap()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("campaign_expand");
+    group.throughput(Throughput::Elements(scenarios));
+    group.bench_function("scenarios", |b| b.iter(|| config.scenarios().unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_campaign
+}
+criterion_main!(group);

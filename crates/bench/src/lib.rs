@@ -18,8 +18,24 @@ pub const SMALL_STAGE_SWEEP: &[usize] = &[3, 4, 5, 6, 7, 8];
 /// Criterion tuning shared by all benches: small sample counts so the whole
 /// suite completes in minutes on a laptop while still producing stable
 /// medians.
+///
+/// Setting the `BENCH_QUICK` environment variable to anything but `0` or the
+/// empty string switches to smoke-test sizing (3 samples, tens of
+/// milliseconds per benchmark) — this is what the CI `bench-smoke` job uses
+/// to keep the perf-artifact run fast.
 pub fn configure(c: criterion::Criterion) -> criterion::Criterion {
-    c.sample_size(10)
-        .measurement_time(std::time::Duration::from_millis(800))
-        .warm_up_time(std::time::Duration::from_millis(200))
+    if quick_mode() {
+        c.sample_size(3)
+            .measurement_time(std::time::Duration::from_millis(60))
+            .warm_up_time(std::time::Duration::from_millis(20))
+    } else {
+        c.sample_size(10)
+            .measurement_time(std::time::Duration::from_millis(800))
+            .warm_up_time(std::time::Duration::from_millis(200))
+    }
+}
+
+/// Whether `BENCH_QUICK` requests smoke-test sizing.
+pub fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }

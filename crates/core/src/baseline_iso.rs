@@ -2,7 +2,7 @@
 //!
 //! The Section 2 theorem says that Banyan + `P(1,*)` + `P(*,n)` forces a
 //! digraph to be isomorphic to the Baseline MI-digraph; the proof lives in
-//! the companion paper [12]. For the library we want more than a yes/no
+//! the companion paper \[12\]. For the library we want more than a yes/no
 //! answer: we want the explicit node bijection, produced in near-linear time
 //! and **verified** before being handed to the caller. The construction used
 //! here makes the "easy characterization" executable:

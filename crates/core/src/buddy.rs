@@ -1,8 +1,8 @@
 //! Agrawal's buddy property.
 //!
-//! The paper's introduction recalls that Agrawal [8] proposed to
+//! The paper's introduction recalls that Agrawal \[8\] proposed to
 //! characterize the class of Baseline-equivalent networks by "Buddy
-//! Properties", and that [10] showed the characterization to be
+//! Properties", and that \[10\] showed the characterization to be
 //! insufficient. We implement the property so the insufficiency can be
 //! demonstrated experimentally (experiment E10): networks exist that are
 //! Banyan and satisfy the buddy property in both directions yet are *not*

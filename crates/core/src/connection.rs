@@ -79,7 +79,7 @@ impl Connection {
     }
 
     /// Builds the connection `(f, f ⊕ difference)` from an affine map — by
-    /// the affine characterization (see [`crate::affine_form`]) every such
+    /// the affine characterization (see [`crate::affine_form()`]) every such
     /// connection is independent.
     pub fn from_affine(f: &AffineMap, difference: Label) -> Self {
         assert_eq!(

@@ -1,7 +1,7 @@
 //! Delta and bidelta properties (Kruskal & Snir).
 //!
 //! The paper's introduction contrasts its graph characterization with
-//! Kruskal & Snir's *bidelta* condition [11], a sufficient condition for
+//! Kruskal & Snir's *bidelta* condition \[11\], a sufficient condition for
 //! isomorphism phrased in terms of digit-controlled routing. For 2×2 cells
 //! the operational content is:
 //!

@@ -15,7 +15,7 @@
 //!   Checking the `n-1` canonical basis vectors therefore suffices, giving
 //!   `O(N·n)` with an explicit certificate: the β-vector of every basis
 //!   direction (equivalently, the linear part of `f` — see
-//!   [`crate::affine_form`]).
+//!   [`crate::affine_form()`]).
 
 use crate::connection::Connection;
 use min_labels::{all_labels, Label};

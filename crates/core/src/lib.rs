@@ -14,14 +14,14 @@
 //! | §3 Proposition 1 (reverse of an independent connection) | [`reverse`] |
 //! | §3 Lemma 2 and Theorem 3 (Banyan + independent ⇒ Baseline-equivalent) | [`properties`], [`baseline_iso`], [`equivalence`] |
 //! | §4 PIPID permutations, critical digit `k = θ⁻¹(0)`, Fig. 5 degeneracy | [`pipid`] |
-//! | §1 discussion of Agrawal's buddy property [8]/[10] | [`buddy`] |
-//! | §1 discussion of Kruskal & Snir's bidelta property [11] | [`delta`] |
+//! | §1 discussion of Agrawal's buddy property \[8\]/\[10\] | [`buddy`] |
+//! | §1 discussion of Kruskal & Snir's bidelta property \[11\] | [`delta`] |
 //!
 //! Beyond the paper's text, the crate contributes two engineering pieces a
 //! user of the theory needs:
 //!
 //! * an **affine characterization** of independent connections
-//!   ([`affine_form`]): `(f,g)` is independent iff `f` is affine over GF(2)
+//!   ([`affine_form()`]): `(f,g)` is independent iff `f` is affine over GF(2)
 //!   and `g = f ⊕ c`. This yields an `O(N·n)` checker with an explicit
 //!   certificate and a generator of random independent connections used
 //!   throughout the test and benchmark suites;

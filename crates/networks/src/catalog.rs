@@ -93,6 +93,28 @@ impl ClassicalNetwork {
     }
 }
 
+/// Expands a family × stage-count grid over the classical catalog, in a
+/// fixed deterministic order (families in [`ClassicalNetwork::ALL`] order,
+/// stage counts ascending within each family).
+///
+/// This is the enumeration the campaign runner (`min-sim::campaign`) and the
+/// sweep benchmarks build their work queues from.
+pub fn catalog_grid(stages: std::ops::RangeInclusive<usize>) -> Vec<(ClassicalNetwork, usize)> {
+    grid(&ClassicalNetwork::ALL, stages)
+}
+
+/// Expands an arbitrary family subset × stage-count grid, preserving the
+/// given family order and ascending stage counts within each family.
+pub fn grid(
+    families: &[ClassicalNetwork],
+    stages: std::ops::RangeInclusive<usize>,
+) -> Vec<(ClassicalNetwork, usize)> {
+    families
+        .iter()
+        .flat_map(|&kind| stages.clone().map(move |n| (kind, n)))
+        .collect()
+}
+
 impl std::fmt::Display for ClassicalNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -135,6 +157,33 @@ mod tests {
             assert!(!kind.to_string().is_empty());
             assert!(kind.citation().contains("19"));
         }
+    }
+
+    #[test]
+    fn catalog_grid_enumerates_family_major() {
+        let cells = catalog_grid(3..=5);
+        assert_eq!(cells.len(), 6 * 3);
+        // Family-major: the first three cells are the Baseline at n = 3, 4, 5.
+        assert_eq!(cells[0], (ClassicalNetwork::Baseline, 3));
+        assert_eq!(cells[1], (ClassicalNetwork::Baseline, 4));
+        assert_eq!(cells[2], (ClassicalNetwork::Baseline, 5));
+        assert_eq!(cells[3].0, ClassicalNetwork::ReverseBaseline);
+        // Every cell builds a network of the requested size.
+        for (kind, n) in cells {
+            assert_eq!(kind.build(n).stages(), n);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn grid_respects_the_given_family_subset() {
+        let cells = grid(&[ClassicalNetwork::Omega, ClassicalNetwork::Flip], 4..=4);
+        assert_eq!(
+            cells,
+            vec![(ClassicalNetwork::Omega, 4), (ClassicalNetwork::Flip, 4)]
+        );
+        assert!(grid(&[], 3..=5).is_empty());
+        assert!(catalog_grid(5..=3).is_empty());
     }
 
     #[test]

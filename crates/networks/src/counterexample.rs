@@ -9,7 +9,7 @@
 //!   [`banyan_not_baseline_equivalent`] deterministically produces) Banyan
 //!   networks that fail `P(1,*)`/`P(*,n)`;
 //! * Agrawal's buddy property, even together with the Banyan property, does
-//!   not imply Baseline equivalence (the point of reference [10]) —
+//!   not imply Baseline equivalence (the point of reference \[10\]) —
 //!   [`find_buddy_not_equivalent`] / [`buddy_not_baseline_equivalent`].
 
 use crate::random::{random_buddy_network, random_link_permutation_network};
@@ -65,7 +65,7 @@ pub fn find_banyan_not_equivalent<R: Rng>(
 
 /// Searches for an `n`-stage network that is Banyan, satisfies Agrawal's
 /// buddy property in both directions, and is **not** Baseline-equivalent
-/// (the class of counterexamples exhibited by reference [10]).
+/// (the class of counterexamples exhibited by reference \[10\]).
 pub fn find_buddy_not_equivalent<R: Rng>(
     n: usize,
     max_attempts: usize,
@@ -102,7 +102,7 @@ pub fn banyan_not_baseline_equivalent() -> ConnectionNetwork {
 
 /// A deterministic 4-stage (N = 16) network that is Banyan, satisfies the
 /// buddy property in both directions, and is not Baseline-equivalent —
-/// demonstrating, as reference [10] did, that Agrawal's buddy
+/// demonstrating, as reference \[10\] did, that Agrawal's buddy
 /// characterization is insufficient.
 pub fn buddy_not_baseline_equivalent() -> ConnectionNetwork {
     let mut rng = ChaCha8Rng::seed_from_u64(0x0A67_A3A1);

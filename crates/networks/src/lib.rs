@@ -16,7 +16,7 @@
 //! * [`counterexample`] — the degenerate and non-equivalent networks that
 //!   delimit the theory: Fig. 5 parallel-link stages, Banyan networks that
 //!   are *not* Baseline-equivalent, and buddy-property networks that are not
-//!   Baseline-equivalent (the point of reference [10]).
+//!   Baseline-equivalent (the point of reference \[10\]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +28,7 @@ pub mod counterexample;
 pub mod random;
 
 pub use builder::NetworkBuilder;
-pub use catalog::ClassicalNetwork;
+pub use catalog::{catalog_grid, ClassicalNetwork};
 pub use classical::{
     baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline,
 };

@@ -80,7 +80,7 @@ pub fn random_link_permutation_network<R: Rng>(n: usize, rng: &mut R) -> Connect
 ///
 /// Such stages automatically satisfy Agrawal's buddy property in both
 /// directions; they are the search space in which the buddy-but-not-
-/// equivalent counterexamples of reference [10] live (see
+/// equivalent counterexamples of reference \[10\] live (see
 /// [`crate::counterexample`]).
 pub fn random_buddy_network<R: Rng>(n: usize, rng: &mut R) -> ConnectionNetwork {
     assert!(n >= 2);

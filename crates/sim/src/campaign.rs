@@ -1,0 +1,683 @@
+//! Scenario campaigns: declarative simulation grids fanned out across threads.
+//!
+//! A [`CampaignConfig`] describes a grid — catalog cells (network family ×
+//! stage count) × traffic pattern × offered load × replication — plus the
+//! simulation parameters shared by every cell. [`run_campaign`] expands the
+//! grid into a flat, deterministically ordered work queue of [`Scenario`]s,
+//! fans the queue out across scoped worker threads, and collects one
+//! [`ScenarioResult`] per scenario into a [`CampaignReport`].
+//!
+//! ## Determinism
+//!
+//! Every scenario runs with its own ChaCha8 seed derived from
+//! `(campaign_seed, scenario_index)` by a SplitMix64 finalizer
+//! ([`scenario_seed`]), and results are stored by scenario index, never by
+//! completion order. The report — including its serialized JSON — is
+//! therefore **bitwise identical at any worker-thread count**, which is what
+//! lets the CI perf trajectory compare campaign outputs across machines.
+//!
+//! ```
+//! use min_sim::campaign::{run_campaign, CampaignConfig};
+//! use min_sim::TrafficPattern;
+//!
+//! let config = CampaignConfig::over_catalog(3..=3)
+//!     .with_traffic(vec![TrafficPattern::Uniform])
+//!     .with_loads(vec![0.5])
+//!     .with_cycles(50, 0);
+//! let sequential = run_campaign(&config, 1).unwrap();
+//! let parallel = run_campaign(&config, 4).unwrap();
+//! assert_eq!(sequential.to_json(), parallel.to_json());
+//! ```
+
+use crate::config::{BufferMode, SimConfig};
+use crate::engine::simulate;
+use crate::fabric::FabricError;
+use crate::traffic::TrafficPattern;
+use min_networks::{catalog_grid, ClassicalNetwork};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Declarative description of a simulation campaign.
+///
+/// The grid axes are `cells × traffic × loads × replications`; the remaining
+/// fields are shared by every scenario. Construct with
+/// [`CampaignConfig::over_catalog`] (or [`Default`]) and refine with the
+/// builder-style setters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed; every scenario derives its own seed from this and its
+    /// index (see [`scenario_seed`]).
+    pub campaign_seed: u64,
+    /// The (network family, stage count) cells of the grid, e.g. from
+    /// [`min_networks::catalog_grid`].
+    pub cells: Vec<(ClassicalNetwork, usize)>,
+    /// Traffic patterns swept per cell.
+    pub traffic: Vec<TrafficPattern>,
+    /// Offered loads swept per (cell, traffic) pair, each in `[0, 1]`.
+    pub loads: Vec<f64>,
+    /// Independent replications per (cell, traffic, load) triple, each with
+    /// its own derived seed.
+    pub replications: u32,
+    /// Buffering discipline shared by every scenario.
+    pub buffer_mode: BufferMode,
+    /// Total simulated cycles per scenario (the warm-up runs inside this
+    /// budget).
+    pub cycles: u64,
+    /// Warm-up cycles at the start of each scenario, excluded from the
+    /// latency statistics.
+    pub warmup: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::over_catalog(3..=4)
+    }
+}
+
+impl CampaignConfig {
+    /// A campaign over the full classical catalog at the given stage counts,
+    /// with uniform traffic at a moderate load, one replication, unbuffered
+    /// cells and a short measured run.
+    pub fn over_catalog(stages: std::ops::RangeInclusive<usize>) -> Self {
+        CampaignConfig {
+            campaign_seed: 0x1988,
+            cells: catalog_grid(stages),
+            traffic: vec![TrafficPattern::Uniform],
+            loads: vec![0.5],
+            replications: 1,
+            buffer_mode: BufferMode::Unbuffered,
+            cycles: 400,
+            warmup: 50,
+        }
+    }
+
+    /// Builder-style setter for the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.campaign_seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the grid cells.
+    pub fn with_cells(mut self, cells: Vec<(ClassicalNetwork, usize)>) -> Self {
+        self.cells = cells;
+        self
+    }
+
+    /// Builder-style setter for the traffic axis.
+    pub fn with_traffic(mut self, traffic: Vec<TrafficPattern>) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Builder-style setter for the offered-load axis.
+    pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = loads;
+        self
+    }
+
+    /// Builder-style setter for the replication count.
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Builder-style setter for the buffer mode.
+    pub fn with_buffer(mut self, mode: BufferMode) -> Self {
+        self.buffer_mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the cycle counts.
+    pub fn with_cycles(mut self, cycles: u64, warmup: u64) -> Self {
+        self.cycles = cycles;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn scenario_count(&self) -> usize {
+        self.cells.len() * self.traffic.len() * self.loads.len() * self.replications as usize
+    }
+
+    /// Checks the grid for structural problems (empty axes, unbuildable
+    /// stage counts, out-of-range loads, a zero-cycle run).
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.cells.is_empty() {
+            return Err(CampaignError::EmptyAxis("cells"));
+        }
+        for &(_, stages) in &self.cells {
+            // A MIN needs at least two stages, and the simulator addresses
+            // N = 2^stages terminals with a usize.
+            if !(2..=32).contains(&stages) {
+                return Err(CampaignError::InvalidStages(stages));
+            }
+        }
+        if self.traffic.is_empty() {
+            return Err(CampaignError::EmptyAxis("traffic"));
+        }
+        if self.loads.is_empty() {
+            return Err(CampaignError::EmptyAxis("loads"));
+        }
+        if self.replications == 0 {
+            return Err(CampaignError::EmptyAxis("replications"));
+        }
+        if self.cycles == 0 {
+            return Err(CampaignError::ZeroCycles);
+        }
+        if self.warmup >= self.cycles {
+            // The warm-up runs inside the cycle budget; consuming all of it
+            // would leave an empty measurement window and all-zero latency
+            // statistics indistinguishable from a real result.
+            return Err(CampaignError::WarmupTooLong {
+                warmup: self.warmup,
+                cycles: self.cycles,
+            });
+        }
+        for &load in &self.loads {
+            if !(0.0..=1.0).contains(&load) || load.is_nan() {
+                return Err(CampaignError::InvalidLoad(load));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into the flat scenario list, in its canonical order:
+    /// cells (outermost) × traffic × loads × replications (innermost). The
+    /// scenario index — and with it the derived seed — depends only on the
+    /// grid, never on thread scheduling.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, CampaignError> {
+        self.validate()?;
+        let mut out = Vec::with_capacity(self.scenario_count());
+        for &(network, stages) in &self.cells {
+            for traffic in &self.traffic {
+                for &offered_load in &self.loads {
+                    for replication in 0..self.replications {
+                        let index = out.len();
+                        out.push(Scenario {
+                            index,
+                            network,
+                            stages,
+                            traffic: traffic.clone(),
+                            offered_load,
+                            replication,
+                            seed: scenario_seed(self.campaign_seed, index),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One fully specified `(network, traffic, load, replication)` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Position in the canonical grid expansion.
+    pub index: usize,
+    /// Network family.
+    pub network: ClassicalNetwork,
+    /// Stage count `n` (the network has `N = 2^n` terminals).
+    pub stages: usize,
+    /// Traffic pattern.
+    pub traffic: TrafficPattern,
+    /// Offered load.
+    pub offered_load: f64,
+    /// Replication number within the grid point.
+    pub replication: u32,
+    /// Derived ChaCha8 seed for this scenario.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The per-scenario simulator configuration.
+    pub fn sim_config(&self, campaign: &CampaignConfig) -> SimConfig {
+        SimConfig {
+            offered_load: self.offered_load,
+            buffer_mode: campaign.buffer_mode,
+            traffic: self.traffic.clone(),
+            cycles: campaign.cycles,
+            warmup: campaign.warmup,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Derives the scenario seed from the campaign seed and the scenario index.
+///
+/// SplitMix64 finalizer over `campaign_seed ⊕ (index + 1) · φ64`: cheap,
+/// stateless, and collision-free in practice for any realistic grid, so two
+/// scenarios never share a ChaCha8 stream.
+pub fn scenario_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The measured outcome of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario that produced this result.
+    pub scenario: Scenario,
+    /// Delivered packets per terminal per cycle (in `[0, 1]`).
+    pub throughput: f64,
+    /// Mean delivered-packet latency, in cycles.
+    pub mean_latency: f64,
+    /// 99th-percentile delivered-packet latency, in cycles.
+    pub p99_latency: u64,
+    /// Largest single-packet latency, in cycles.
+    pub max_latency: u64,
+    /// Fraction of offered packets accepted into the fabric.
+    pub acceptance: f64,
+    /// Packets the sources wanted to inject.
+    pub offered: u64,
+    /// Packets accepted into the fabric.
+    pub injected: u64,
+    /// Packets delivered to their destination.
+    pub delivered: u64,
+    /// Packets dropped inside the fabric.
+    pub dropped: u64,
+    /// Packets still in flight when the run ended.
+    pub in_flight: u64,
+}
+
+/// Whole-campaign totals and extremes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignAggregate {
+    /// Sum of `offered` over all scenarios.
+    pub total_offered: u64,
+    /// Sum of `injected` over all scenarios.
+    pub total_injected: u64,
+    /// Sum of `delivered` over all scenarios.
+    pub total_delivered: u64,
+    /// Sum of `dropped` over all scenarios.
+    pub total_dropped: u64,
+    /// Unweighted mean of the per-scenario throughputs.
+    pub mean_throughput: f64,
+    /// Largest per-scenario p99 latency.
+    pub worst_p99_latency: u64,
+    /// Largest per-scenario mean latency.
+    pub worst_mean_latency: f64,
+}
+
+/// The complete result of a campaign: configuration echo, one result per
+/// scenario (in canonical grid order), and the aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The master seed the campaign ran with.
+    pub campaign_seed: u64,
+    /// Buffering discipline shared by every scenario.
+    pub buffer_mode: BufferMode,
+    /// Measured cycles per scenario.
+    pub cycles: u64,
+    /// Warm-up cycles per scenario.
+    pub warmup: u64,
+    /// Number of scenarios in the grid.
+    pub scenario_count: usize,
+    /// Per-scenario results, indexed by [`Scenario::index`].
+    pub scenarios: Vec<ScenarioResult>,
+    /// Whole-campaign totals.
+    pub aggregate: CampaignAggregate,
+}
+
+impl CampaignReport {
+    /// Serializes the report to JSON. The rendering is deterministic (field
+    /// order is declaration order, floats print via Rust's shortest
+    /// round-trip formatting), so equal reports yield byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("campaign reports are JSON-serializable")
+    }
+
+    /// Parses a report back from its [`CampaignReport::to_json`] rendering.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// A plain-text summary table, one row per scenario.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>3} {:<14} {:>5} {:>4} {:>9} {:>9} {:>5} {:>8}",
+            "network", "n", "traffic", "load", "rep", "tput", "mean lat", "p99", "dropped"
+        );
+        for r in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>3} {:<14} {:>5.2} {:>4} {:>9.4} {:>9.2} {:>5} {:>8}",
+                r.scenario.network.name(),
+                r.scenario.stages,
+                r.scenario.traffic.label(),
+                r.scenario.offered_load,
+                r.scenario.replication,
+                r.throughput,
+                r.mean_latency,
+                r.p99_latency,
+                r.dropped
+            );
+        }
+        let a = &self.aggregate;
+        let _ = writeln!(
+            out,
+            "{} scenarios · delivered {}/{} offered · mean tput {:.4} · worst p99 {} cycles",
+            self.scenario_count,
+            a.total_delivered,
+            a.total_offered,
+            a.mean_throughput,
+            a.worst_p99_latency
+        );
+        out
+    }
+}
+
+/// Why a campaign could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// One of the grid axes is empty.
+    EmptyAxis(&'static str),
+    /// A grid cell's stage count is outside the buildable range `2..=32`.
+    InvalidStages(usize),
+    /// An offered load is outside `[0, 1]`.
+    InvalidLoad(f64),
+    /// The measured run has zero cycles.
+    ZeroCycles,
+    /// The warm-up consumes the whole cycle budget, leaving no measurement
+    /// window.
+    WarmupTooLong {
+        /// Configured warm-up cycles.
+        warmup: u64,
+        /// Configured total cycles.
+        cycles: u64,
+    },
+    /// A scenario's network could not be simulated.
+    Fabric {
+        /// Index of the failing scenario.
+        scenario: usize,
+        /// The underlying fabric error.
+        error: FabricError,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EmptyAxis(axis) => write!(f, "campaign grid axis `{axis}` is empty"),
+            CampaignError::InvalidStages(n) => {
+                write!(f, "stage count {n} is outside the buildable range 2..=32")
+            }
+            CampaignError::InvalidLoad(load) => {
+                write!(f, "offered load {load} is not a probability")
+            }
+            CampaignError::ZeroCycles => write!(f, "campaign runs zero measured cycles"),
+            CampaignError::WarmupTooLong { warmup, cycles } => write!(
+                f,
+                "warm-up of {warmup} cycles consumes the whole {cycles}-cycle budget"
+            ),
+            CampaignError::Fabric { scenario, error } => {
+                write!(f, "scenario {scenario} cannot be simulated: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Runs one scenario to completion.
+fn run_scenario(
+    campaign: &CampaignConfig,
+    scenario: &Scenario,
+) -> Result<ScenarioResult, CampaignError> {
+    let net = scenario.network.build(scenario.stages);
+    let terminals = 1usize << scenario.stages;
+    let metrics =
+        simulate(net, scenario.sim_config(campaign)).map_err(|error| CampaignError::Fabric {
+            scenario: scenario.index,
+            error,
+        })?;
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        throughput: metrics.normalized_throughput(terminals),
+        mean_latency: metrics.mean_latency(),
+        p99_latency: metrics.p99_latency(),
+        max_latency: metrics.max_latency,
+        acceptance: metrics.acceptance_rate(),
+        offered: metrics.offered,
+        injected: metrics.injected,
+        delivered: metrics.delivered,
+        dropped: metrics.dropped,
+        in_flight: metrics.in_flight_at_end,
+    })
+}
+
+/// Expands the campaign grid and runs every scenario across `threads` scoped
+/// worker threads (`0` = one worker per available core). Workers pull
+/// scenario indices from a shared atomic cursor, so the fan-out is
+/// work-stealing-free and allocation-light; results land in index order
+/// regardless of which worker ran them, keeping the report independent of
+/// the thread count.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    threads: usize,
+) -> Result<CampaignReport, CampaignError> {
+    let scenarios = config.scenarios()?;
+    let workers = effective_threads(threads, scenarios.len());
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Vec<(usize, Result<ScenarioResult, CampaignError>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let scenarios = &scenarios;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(i) else {
+                            break;
+                        };
+                        local.push((i, run_scenario(config, scenario)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<ScenarioResult>> = vec![None; scenarios.len()];
+    for (i, result) in collected {
+        slots[i] = Some(result?);
+    }
+    let results: Vec<ScenarioResult> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario index was claimed exactly once"))
+        .collect();
+
+    let aggregate = aggregate(&results);
+    Ok(CampaignReport {
+        campaign_seed: config.campaign_seed,
+        buffer_mode: config.buffer_mode,
+        cycles: config.cycles,
+        warmup: config.warmup,
+        scenario_count: results.len(),
+        scenarios: results,
+        aggregate,
+    })
+}
+
+/// Resolves the worker count: `0` means one per available core, and there is
+/// never a point in more workers than scenarios.
+fn effective_threads(requested: usize, scenarios: usize) -> usize {
+    let requested = if requested == 0 {
+        thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    requested.clamp(1, scenarios.max(1))
+}
+
+fn aggregate(results: &[ScenarioResult]) -> CampaignAggregate {
+    let mut a = CampaignAggregate {
+        total_offered: 0,
+        total_injected: 0,
+        total_delivered: 0,
+        total_dropped: 0,
+        mean_throughput: 0.0,
+        worst_p99_latency: 0,
+        worst_mean_latency: 0.0,
+    };
+    for r in results {
+        a.total_offered += r.offered;
+        a.total_injected += r.injected;
+        a.total_delivered += r.delivered;
+        a.total_dropped += r.dropped;
+        a.mean_throughput += r.throughput;
+        a.worst_p99_latency = a.worst_p99_latency.max(r.p99_latency);
+        a.worst_mean_latency = a.worst_mean_latency.max(r.mean_latency);
+    }
+    if !results.is_empty() {
+        a.mean_throughput /= results.len() as f64;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig::over_catalog(3..=3)
+            .with_traffic(vec![TrafficPattern::Uniform, TrafficPattern::BitReversal])
+            .with_loads(vec![0.3, 0.9])
+            .with_cycles(60, 0)
+    }
+
+    #[test]
+    fn expansion_is_canonical_and_seeded_per_index() {
+        let cfg = tiny().with_replications(2);
+        let scenarios = cfg.scenarios().unwrap();
+        assert_eq!(scenarios.len(), cfg.scenario_count());
+        assert_eq!(scenarios.len(), 6 * 2 * 2 * 2);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.seed, scenario_seed(cfg.campaign_seed, i));
+        }
+        // Innermost axis is the replication; loads change next.
+        assert_eq!(scenarios[0].replication, 0);
+        assert_eq!(scenarios[1].replication, 1);
+        assert_eq!(scenarios[0].offered_load, scenarios[1].offered_load);
+        assert_ne!(scenarios[0].offered_load, scenarios[2].offered_load);
+        // All derived seeds are distinct.
+        let seeds: std::collections::HashSet<u64> = scenarios.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), scenarios.len());
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        assert_eq!(
+            tiny().with_loads(vec![]).scenarios().unwrap_err(),
+            CampaignError::EmptyAxis("loads")
+        );
+        assert_eq!(
+            tiny().with_cells(vec![]).scenarios().unwrap_err(),
+            CampaignError::EmptyAxis("cells")
+        );
+        assert_eq!(
+            tiny().with_traffic(vec![]).scenarios().unwrap_err(),
+            CampaignError::EmptyAxis("traffic")
+        );
+        assert_eq!(
+            tiny().with_replications(0).scenarios().unwrap_err(),
+            CampaignError::EmptyAxis("replications")
+        );
+        assert_eq!(
+            tiny().with_loads(vec![1.5]).scenarios().unwrap_err(),
+            CampaignError::InvalidLoad(1.5)
+        );
+        assert_eq!(
+            tiny().with_cycles(0, 0).scenarios().unwrap_err(),
+            CampaignError::ZeroCycles
+        );
+        assert_eq!(
+            tiny().with_cycles(50, 100).scenarios().unwrap_err(),
+            CampaignError::WarmupTooLong {
+                warmup: 100,
+                cycles: 50
+            }
+        );
+        // Unbuildable stage counts are rejected up front rather than
+        // panicking inside a worker thread.
+        assert_eq!(
+            tiny()
+                .with_cells(vec![(ClassicalNetwork::Omega, 1)])
+                .scenarios()
+                .unwrap_err(),
+            CampaignError::InvalidStages(1)
+        );
+        assert_eq!(
+            tiny()
+                .with_cells(vec![(ClassicalNetwork::Omega, 64)])
+                .scenarios()
+                .unwrap_err(),
+            CampaignError::InvalidStages(64)
+        );
+    }
+
+    #[test]
+    fn report_is_independent_of_thread_count() {
+        let cfg = tiny();
+        let one = run_campaign(&cfg, 1).unwrap();
+        let many = run_campaign(&cfg, 7).unwrap();
+        let auto = run_campaign(&cfg, 0).unwrap();
+        assert_eq!(one, many);
+        assert_eq!(one.to_json(), many.to_json());
+        assert_eq!(one.to_json(), auto.to_json());
+    }
+
+    #[test]
+    fn report_aggregates_and_conserves() {
+        let report = run_campaign(&tiny(), 4).unwrap();
+        assert_eq!(report.scenario_count, report.scenarios.len());
+        let sum: u64 = report.scenarios.iter().map(|r| r.delivered).sum();
+        assert_eq!(report.aggregate.total_delivered, sum);
+        for r in &report.scenarios {
+            assert_eq!(r.injected, r.delivered + r.dropped + r.in_flight, "{r:?}");
+            assert!(r.p99_latency <= r.max_latency);
+            assert!(r.throughput > 0.0 && r.throughput <= 1.0);
+        }
+        assert!(report.aggregate.mean_throughput > 0.0);
+        // The summary table has one row per scenario plus header and footer.
+        assert_eq!(
+            report.summary_table().lines().count(),
+            report.scenario_count + 2
+        );
+    }
+
+    #[test]
+    fn different_campaign_seeds_differ() {
+        let a = run_campaign(&tiny().with_seed(1), 2).unwrap();
+        let b = run_campaign(&tiny().with_seed(2), 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let report = run_campaign(&tiny().with_loads(vec![0.4]), 2).unwrap();
+        let json = report.to_json();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn scenario_seed_mixes_both_inputs() {
+        assert_ne!(scenario_seed(0, 0), scenario_seed(0, 1));
+        assert_ne!(scenario_seed(0, 0), scenario_seed(1, 0));
+        assert_ne!(scenario_seed(7, 3), scenario_seed(3, 7));
+    }
+}

@@ -24,9 +24,11 @@ pub struct SimConfig {
     pub buffer_mode: BufferMode,
     /// Traffic pattern (destination distribution).
     pub traffic: TrafficPattern,
-    /// Number of measured cycles.
+    /// Total number of simulated cycles (the warm-up runs inside this
+    /// budget).
     pub cycles: u64,
-    /// Number of warm-up cycles excluded from the statistics.
+    /// Number of warm-up cycles at the start of the run, excluded from the
+    /// latency statistics.
     pub warmup: u64,
     /// PRNG seed (the simulation is fully deterministic given the seed).
     pub seed: u64,

@@ -106,9 +106,7 @@ impl Simulator {
                     self.metrics.misrouted += 1;
                 }
                 if p.injected_at >= self.config.warmup {
-                    let latency = self.cycle - p.injected_at;
-                    self.metrics.total_latency += latency;
-                    self.metrics.max_latency = self.metrics.max_latency.max(latency);
+                    self.metrics.record_latency(self.cycle - p.injected_at);
                 }
             }
         }

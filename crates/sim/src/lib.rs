@@ -18,13 +18,18 @@
 //! * traffic generators ([`traffic`]) — Bernoulli uniform, hot-spot, and
 //!   fixed permutation;
 //! * metrics ([`metrics`]) — offered/accepted/delivered counts, normalized
-//!   throughput, latency mean and tail, plus a conservation audit
-//!   (injected = delivered + dropped + in flight) used by the property
-//!   tests.
+//!   throughput, latency mean and tail (histogram-backed percentiles), plus
+//!   a conservation audit (injected = delivered + dropped + in flight) used
+//!   by the property tests;
+//! * campaigns ([`campaign`]) — declarative simulation grids (catalog cell ×
+//!   traffic × load × replication) expanded into a work queue and fanned out
+//!   across scoped threads, with per-scenario seeds derived from the
+//!   campaign seed so reports are bitwise reproducible at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod fabric;
@@ -32,6 +37,7 @@ pub mod metrics;
 pub mod packet;
 pub mod traffic;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Scenario, ScenarioResult};
 pub use config::{BufferMode, SimConfig};
 pub use engine::{simulate, Simulator};
 pub use metrics::Metrics;

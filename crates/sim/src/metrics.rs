@@ -5,26 +5,36 @@ use serde::{Deserialize, Serialize};
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
-    /// Cycles actually measured (excludes warm-up).
+    /// Total cycles run so far (warm-up included; warm-up is excluded only
+    /// from the latency statistics).
     pub measured_cycles: u64,
-    /// Packets the traffic source wanted to inject during measurement.
+    /// Packets the traffic source wanted to inject over the whole run
+    /// (warm-up included).
     pub offered: u64,
-    /// Packets actually accepted into the fabric during measurement.
+    /// Packets actually accepted into the fabric over the whole run.
     pub injected: u64,
-    /// Packets delivered to their destination during measurement.
+    /// Packets delivered to their destination over the whole run.
     pub delivered: u64,
     /// Packets dropped (unbuffered arbitration losses or full first-stage
-    /// queues) during measurement.
+    /// queues) over the whole run.
     pub dropped: u64,
     /// Packets still inside the fabric when the run ended.
     pub in_flight_at_end: u64,
-    /// Sum of the latencies (in cycles) of the delivered packets.
+    /// Sum of the latencies (in cycles) of the packets delivered inside the
+    /// measurement window.
     pub total_latency: u64,
-    /// Largest single-packet latency observed.
+    /// Largest single-packet latency observed inside the measurement window.
     pub max_latency: u64,
     /// Packets delivered to the wrong destination (must always be zero; kept
     /// as an audit counter).
     pub misrouted: u64,
+    /// Latency histogram: `latency_histogram[l]` is the number of measured
+    /// packets delivered with a latency of exactly `l` cycles. Dense and
+    /// exact: it grows to the largest observed latency, which is bounded by
+    /// the configured run length, so memory is `O(cycles)` in the worst case
+    /// (a congested FIFO run). Switch to a bucketed histogram if runs ever
+    /// reach many millions of cycles.
+    pub latency_histogram: Vec<u64>,
 }
 
 impl Metrics {
@@ -50,13 +60,60 @@ impl Metrics {
         }
     }
 
-    /// Mean latency of delivered packets, in cycles.
+    /// Number of deliveries inside the measurement window (warm-up deliveries
+    /// are excluded, matching `total_latency` and the histogram).
+    pub fn measured_deliveries(&self) -> u64 {
+        self.latency_histogram.iter().sum()
+    }
+
+    /// Mean latency of the packets delivered inside the measurement window,
+    /// in cycles.
     pub fn mean_latency(&self) -> f64 {
-        if self.delivered == 0 {
+        let measured = self.measured_deliveries();
+        if measured == 0 {
             0.0
         } else {
-            self.total_latency as f64 / self.delivered as f64
+            self.total_latency as f64 / measured as f64
         }
+    }
+
+    /// Records one delivered-packet latency, updating the running total, the
+    /// maximum and the histogram together so the three statistics can never
+    /// fall out of sync.
+    pub fn record_latency(&mut self, latency: u64) {
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+        let idx = latency as usize;
+        if idx >= self.latency_histogram.len() {
+            self.latency_histogram.resize(idx + 1, 0);
+        }
+        self.latency_histogram[idx] += 1;
+    }
+
+    /// Latency at the given percentile (`p` in `[0, 100]`), in cycles,
+    /// computed from the histogram: the smallest latency `l` such that at
+    /// least `p`% of the measured packets were delivered within `l` cycles.
+    /// Returns 0 when no latency was measured.
+    pub fn percentile_latency(&self, p: f64) -> u64 {
+        let total = self.measured_deliveries();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * total as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (latency, &count) in self.latency_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return latency as u64;
+            }
+        }
+        unreachable!("rank never exceeds the histogram total")
+    }
+
+    /// The 99th-percentile latency, in cycles.
+    pub fn p99_latency(&self) -> u64 {
+        self.percentile_latency(99.0)
     }
 
     /// Conservation audit: every injected packet is delivered, dropped or
@@ -74,17 +131,24 @@ mod tests {
 
     #[test]
     fn derived_quantities_are_computed_correctly() {
-        let m = Metrics {
+        let mut m = Metrics {
             measured_cycles: 100,
             offered: 400,
             injected: 380,
             delivered: 350,
             dropped: 20,
             in_flight_at_end: 10,
-            total_latency: 1_400,
-            max_latency: 9,
+            total_latency: 0,
+            max_latency: 0,
             misrouted: 0,
+            latency_histogram: Vec::new(),
         };
+        for _ in 0..350 {
+            m.record_latency(4);
+        }
+        assert_eq!(m.measured_deliveries(), 350);
+        assert_eq!(m.total_latency, 1_400);
+        assert_eq!(m.max_latency, 4);
         assert!((m.normalized_throughput(8) - 350.0 / 800.0).abs() < 1e-12);
         assert!((m.acceptance_rate() - 0.95).abs() < 1e-12);
         assert!((m.mean_latency() - 4.0).abs() < 1e-12);
@@ -97,5 +161,21 @@ mod tests {
         assert_eq!(m.normalized_throughput(8), 0.0);
         assert_eq!(m.mean_latency(), 0.0);
         assert_eq!(m.acceptance_rate(), 1.0);
+        assert_eq!(m.p99_latency(), 0);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram() {
+        let mut m = Metrics::default();
+        // 99 packets at 3 cycles, one straggler at 40.
+        for _ in 0..99 {
+            m.record_latency(3);
+        }
+        m.record_latency(40);
+        assert_eq!(m.percentile_latency(50.0), 3);
+        assert_eq!(m.p99_latency(), 3);
+        assert_eq!(m.percentile_latency(100.0), 40);
+        assert_eq!(m.latency_histogram[3], 99);
+        assert_eq!(m.latency_histogram[40], 1);
     }
 }

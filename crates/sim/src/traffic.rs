@@ -24,6 +24,16 @@ pub enum TrafficPattern {
 }
 
 impl TrafficPattern {
+    /// Short stable name for tables and benchmark/report identifiers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Permutation(_) => "permutation",
+            TrafficPattern::BitReversal => "bit-reversal",
+        }
+    }
+
     /// Draws a destination for a packet injected at `source`, given `cells`
     /// cells per stage and `width_bits = log2(cells)`.
     pub fn destination<R: Rng>(

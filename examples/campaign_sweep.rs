@@ -1,0 +1,88 @@
+//! Scenario-campaign sweep over the classical catalog.
+//!
+//! Expands a declarative grid — every classical network family at n = 3..=5
+//! × three traffic patterns × three offered loads — into a work queue, runs
+//! it across worker threads, prints the per-scenario summary table, and
+//! writes the machine-readable report to `campaign.json`. The same
+//! `--seed` yields a byte-identical report at any `--threads` value.
+//!
+//! ```text
+//! cargo run --release --example campaign_sweep \
+//!     [-- --threads <T>] [--seed <S>] [--min-stages <A>] [--max-stages <B>] \
+//!     [--cycles <C>] [--out <path>]
+//! ```
+
+use baseline_equivalence::prelude::{run_campaign, CampaignConfig};
+use min_sim::TrafficPattern;
+
+fn main() {
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut seed = 0x1988u64;
+    let mut min_stages = 3usize;
+    let mut max_stages = 5usize;
+    let mut cycles = 600u64;
+    let mut out_path = String::from("campaign.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned();
+        let parse =
+            |what: &str, v: Option<String>| v.unwrap_or_else(|| panic!("missing value for {what}"));
+        match args[i].as_str() {
+            "--threads" => threads = parse("--threads", value).parse().expect("thread count"),
+            "--seed" => seed = parse("--seed", value).parse().expect("seed"),
+            "--min-stages" => min_stages = parse("--min-stages", value).parse().expect("stages"),
+            "--max-stages" => max_stages = parse("--max-stages", value).parse().expect("stages"),
+            "--cycles" => cycles = parse("--cycles", value).parse().expect("cycles"),
+            "--out" => out_path = parse("--out", value),
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 2;
+    }
+
+    let config = CampaignConfig::over_catalog(min_stages..=max_stages)
+        .with_seed(seed)
+        .with_traffic(vec![
+            TrafficPattern::Uniform,
+            TrafficPattern::Hotspot {
+                fraction: 0.25,
+                target: 0,
+            },
+            TrafficPattern::BitReversal,
+        ])
+        .with_loads(vec![0.4, 0.8, 1.0])
+        .with_cycles(cycles, cycles / 10);
+
+    println!(
+        "== Campaign: {} catalog cells × {} traffic × {} loads = {} scenarios (seed {seed:#x}) ==\n",
+        config.cells.len(),
+        config.traffic.len(),
+        config.loads.len(),
+        config.scenario_count(),
+    );
+
+    let started = std::time::Instant::now();
+    let report = match run_campaign(&config, threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    print!("{}", report.summary_table());
+    println!(
+        "\ncompleted in {:.2?} with {} worker thread(s) requested",
+        elapsed,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+
+    std::fs::write(&out_path, report.to_json()).expect("write campaign report");
+    println!("report written to {out_path}");
+}

@@ -17,7 +17,8 @@
 //!   random generators and counterexamples;
 //! * [`routing`] (`min-routing`) — destination-tag routing and permutation
 //!   admissibility analysis;
-//! * [`sim`] (`min-sim`) — the cycle-synchronous switch-level simulator.
+//! * [`sim`] (`min-sim`) — the cycle-synchronous switch-level simulator and
+//!   the multi-threaded scenario-campaign runner.
 //!
 //! ## Quick start
 //!
@@ -55,7 +56,8 @@ pub mod prelude {
     };
     pub use min_graph::MiDigraph;
     pub use min_labels::IndexPermutation;
-    pub use min_networks::ClassicalNetwork;
+    pub use min_networks::{catalog_grid, ClassicalNetwork};
+    pub use min_sim::{run_campaign, CampaignConfig, CampaignReport};
 }
 
 #[cfg(test)]

@@ -1,0 +1,73 @@
+//! Integration tests for the scenario-campaign runner: a tiny grid over the
+//! classical catalog, and the headline determinism property — the same
+//! campaign seed produces an identical (byte-for-byte) report at one worker
+//! thread and at many.
+
+use baseline_equivalence::prelude::*;
+use min_sim::campaign::scenario_seed;
+use min_sim::{BufferMode, TrafficPattern};
+use proptest::prelude::*;
+
+fn tiny_campaign(seed: u64) -> CampaignConfig {
+    CampaignConfig::over_catalog(3..=3)
+        .with_seed(seed)
+        .with_traffic(vec![
+            TrafficPattern::Uniform,
+            TrafficPattern::Hotspot {
+                fraction: 0.3,
+                target: 1,
+            },
+        ])
+        .with_loads(vec![0.4, 1.0])
+        .with_cycles(80, 10)
+}
+
+#[test]
+fn tiny_grid_over_the_classical_catalog_completes() {
+    let report = run_campaign(&tiny_campaign(0xC0FFEE), 3).expect("campaign runs");
+    // 6 families × 1 stage count × 2 traffic × 2 loads × 1 replication.
+    assert_eq!(report.scenario_count, 24);
+    assert_eq!(report.scenarios.len(), 24);
+    for (i, r) in report.scenarios.iter().enumerate() {
+        assert_eq!(r.scenario.index, i);
+        assert_eq!(r.scenario.stages, 3);
+        assert_eq!(r.scenario.seed, scenario_seed(0xC0FFEE, i));
+        // Every scenario made progress and conserved its packets.
+        assert!(r.delivered > 0, "scenario {i} delivered nothing");
+        assert_eq!(r.injected, r.delivered + r.dropped + r.in_flight);
+        assert!(r.p99_latency <= r.max_latency);
+    }
+    // All six families appear.
+    let families: std::collections::HashSet<&str> = report
+        .scenarios
+        .iter()
+        .map(|r| r.scenario.network.name())
+        .collect();
+    assert_eq!(families.len(), 6);
+    // The JSON report parses back to the same value.
+    let back = CampaignReport::from_json(&report.to_json()).expect("report JSON parses");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn campaigns_respect_the_buffer_mode() {
+    let unbuffered = run_campaign(&tiny_campaign(9), 2).unwrap();
+    let buffered = run_campaign(&tiny_campaign(9).with_buffer(BufferMode::Fifo(8)), 2).unwrap();
+    assert_eq!(buffered.aggregate.total_dropped, 0);
+    assert!(unbuffered.aggregate.total_dropped > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same campaign seed yields an identical report JSON at 1 thread
+    /// and at N threads, for arbitrary seeds and thread counts.
+    #[test]
+    fn same_seed_same_report_at_any_thread_count(seed in any::<u64>(), threads in 2usize..9) {
+        let cfg = tiny_campaign(seed).with_loads(vec![0.7]).with_cycles(40, 0);
+        let sequential = run_campaign(&cfg, 1).expect("sequential run");
+        let parallel = run_campaign(&cfg, threads).expect("parallel run");
+        prop_assert_eq!(&sequential, &parallel);
+        prop_assert_eq!(sequential.to_json(), parallel.to_json());
+    }
+}

@@ -7,8 +7,14 @@
 //! [`criterion_main!`] — measures median iteration time over the configured
 //! samples, and prints one line per benchmark. Statistical analysis, plots
 //! and comparison against saved baselines are out of scope.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object (one per line) with its
+//! name, median iteration time and throughput, so CI can collect the
+//! medians as a machine-readable artifact.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box, as `criterion::black_box`.
@@ -254,6 +260,57 @@ fn run_one(
         None => String::new(),
     };
     println!("{name:<60} median {}{extra}", format_time(median));
+    emit_json_line(name, median, throughput);
+}
+
+/// Appends the benchmark's median as a JSON line to the file named by the
+/// `CRITERION_JSON` environment variable (no-op when unset or empty). Each
+/// line is `{"name":…,"median_ns":…,"throughput_per_sec":…|null}`; failures
+/// to open or write the file are deliberately silent so a bad path can never
+/// fail a bench run.
+fn emit_json_line(name: &str, median_secs: f64, throughput: Option<Throughput>) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    write_json_line(std::path::Path::new(&path), name, median_secs, throughput);
+}
+
+/// Renders and appends one benchmark's JSON line to `path` (see
+/// [`emit_json_line`] for the format and the silent-failure policy).
+fn write_json_line(
+    path: &std::path::Path,
+    name: &str,
+    median_secs: f64,
+    throughput: Option<Throughput>,
+) {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let per_sec = match throughput {
+        Some(Throughput::Elements(n) | Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            format!("{}", n as f64 / median_secs)
+        }
+        None => "null".to_string(),
+    };
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{},\"throughput_per_sec\":{per_sec}}}",
+        median_secs * 1e9
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(file, "{line}");
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -321,5 +378,33 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn json_lines_are_appended_and_escaped() {
+        // Exercise the writer directly with an explicit path — mutating the
+        // process-global CRITERION_JSON variable here would race with other
+        // tests in this binary that run benchmarks.
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        write_json_line(
+            &path,
+            "group/\"quoted\"/4",
+            2.5e-6,
+            Some(Throughput::Elements(10)),
+        );
+        write_json_line(&path, "group/plain/8", 1e-3, None);
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let expected = format!(
+            "{{\"name\":\"group/\\\"quoted\\\"/4\",\"median_ns\":{},\"throughput_per_sec\":{}}}",
+            2.5e-6f64 * 1e9,
+            10f64 / 2.5e-6
+        );
+        assert_eq!(lines[0], expected);
+        assert!(lines[1].ends_with("\"throughput_per_sec\":null}"));
     }
 }
