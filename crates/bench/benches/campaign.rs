@@ -6,13 +6,21 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use min_bench::{configure, BENCH_SEED};
 use min_sim::campaign::{run_campaign, CampaignConfig};
-use min_sim::TrafficPattern;
+use min_sim::{BufferMode, TrafficPattern};
 
 fn small_campaign() -> CampaignConfig {
     CampaignConfig::over_catalog(3..=4)
         .with_seed(BENCH_SEED)
         .with_traffic(vec![TrafficPattern::Uniform, TrafficPattern::BitReversal])
         .with_loads(vec![0.5, 1.0])
+        .with_buffer_modes(vec![
+            BufferMode::Unbuffered,
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 2,
+                flits_per_packet: 4,
+            },
+        ])
         .with_cycles(120, 0)
 }
 

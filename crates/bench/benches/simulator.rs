@@ -1,8 +1,9 @@
 //! E12 — switch-level simulation throughput.
 //!
-//! Measures simulated cycles per second for the unbuffered and buffered cell
-//! models under uniform and hot-spot traffic, across the catalog — the
-//! "behavioural interchangeability" experiment and the buffering ablation.
+//! Measures simulated cycles per second of the arena-backed switching cores
+//! — unbuffered, FIFO and multi-lane wormhole — under uniform and hot-spot
+//! traffic, across the catalog: the "behavioural interchangeability"
+//! experiment and the buffer-architecture ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use min_bench::{configure, BENCH_SEED};
@@ -67,6 +68,32 @@ fn bench_simulator(c: &mut Criterion) {
                 .with_cycles(SIM_CYCLES, 0)
                 .with_buffer(BufferMode::Fifo(4))
                 .with_traffic(TrafficPattern::BitReversal),
+        ),
+        (
+            "worm2x4x4_uniform",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(SIM_CYCLES, 0)
+                .with_buffer(BufferMode::Wormhole {
+                    lanes: 2,
+                    lane_depth: 4,
+                    flits_per_packet: 4,
+                }),
+        ),
+        (
+            "worm4x2x8_hotspot",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(SIM_CYCLES, 0)
+                .with_buffer(BufferMode::Wormhole {
+                    lanes: 4,
+                    lane_depth: 2,
+                    flits_per_packet: 8,
+                })
+                .with_traffic(TrafficPattern::Hotspot {
+                    fraction: 0.25,
+                    target: 0,
+                }),
         ),
     ];
     for (name, cfg) in scenarios {

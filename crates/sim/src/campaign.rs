@@ -1,11 +1,18 @@
 //! Scenario campaigns: declarative simulation grids fanned out across threads.
 //!
 //! A [`CampaignConfig`] describes a grid — catalog cells (network family ×
-//! stage count) × traffic pattern × offered load × replication — plus the
-//! simulation parameters shared by every cell. [`run_campaign`] expands the
-//! grid into a flat, deterministically ordered work queue of [`Scenario`]s,
-//! fans the queue out across scoped worker threads, and collects one
-//! [`ScenarioResult`] per scenario into a [`CampaignReport`].
+//! stage count) × traffic pattern × offered load × buffer mode ×
+//! replication — plus the simulation parameters shared by every cell.
+//! [`run_campaign`] expands the grid into a flat, deterministically ordered
+//! work queue of [`Scenario`]s, fans the queue out across scoped worker
+//! threads, and collects one [`ScenarioResult`] per scenario into a
+//! [`CampaignReport`].
+//!
+//! The buffer-mode axis is what lets one campaign sweep a topology across
+//! *buffer architectures*, not just families: the same grid cell can run
+//! unbuffered (Patel), FIFO-buffered, and flit-level wormhole
+//! ([`BufferMode::Wormhole`]) back to back, the way the wormhole-routing and
+//! saturation-stability literature evaluates MINs.
 //!
 //! ## Determinism
 //!
@@ -18,19 +25,23 @@
 //!
 //! ```
 //! use min_sim::campaign::{run_campaign, CampaignConfig};
-//! use min_sim::TrafficPattern;
+//! use min_sim::{BufferMode, TrafficPattern};
 //!
 //! let config = CampaignConfig::over_catalog(3..=3)
 //!     .with_traffic(vec![TrafficPattern::Uniform])
 //!     .with_loads(vec![0.5])
+//!     .with_buffer_modes(vec![
+//!         BufferMode::Unbuffered,
+//!         BufferMode::Wormhole { lanes: 2, lane_depth: 2, flits_per_packet: 4 },
+//!     ])
 //!     .with_cycles(50, 0);
 //! let sequential = run_campaign(&config, 1).unwrap();
 //! let parallel = run_campaign(&config, 4).unwrap();
 //! assert_eq!(sequential.to_json(), parallel.to_json());
 //! ```
 
-use crate::config::{BufferMode, SimConfig};
-use crate::engine::simulate;
+use crate::config::{BufferMode, ConfigError, SimConfig};
+use crate::engine::{simulate, SimError};
 use crate::fabric::FabricError;
 use crate::traffic::TrafficPattern;
 use min_networks::{catalog_grid, ClassicalNetwork};
@@ -41,10 +52,10 @@ use std::thread;
 
 /// Declarative description of a simulation campaign.
 ///
-/// The grid axes are `cells × traffic × loads × replications`; the remaining
-/// fields are shared by every scenario. Construct with
-/// [`CampaignConfig::over_catalog`] (or [`Default`]) and refine with the
-/// builder-style setters.
+/// The grid axes are `cells × traffic × loads × buffer_modes ×
+/// replications`; the remaining fields are shared by every scenario.
+/// Construct with [`CampaignConfig::over_catalog`] (or [`Default`]) and
+/// refine with the builder-style setters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Master seed; every scenario derives its own seed from this and its
@@ -57,11 +68,11 @@ pub struct CampaignConfig {
     pub traffic: Vec<TrafficPattern>,
     /// Offered loads swept per (cell, traffic) pair, each in `[0, 1]`.
     pub loads: Vec<f64>,
-    /// Independent replications per (cell, traffic, load) triple, each with
-    /// its own derived seed.
+    /// Buffer architectures swept per (cell, traffic, load) triple.
+    pub buffer_modes: Vec<BufferMode>,
+    /// Independent replications per grid point, each with its own derived
+    /// seed.
     pub replications: u32,
-    /// Buffering discipline shared by every scenario.
-    pub buffer_mode: BufferMode,
     /// Total simulated cycles per scenario (the warm-up runs inside this
     /// budget).
     pub cycles: u64,
@@ -86,8 +97,8 @@ impl CampaignConfig {
             cells: catalog_grid(stages),
             traffic: vec![TrafficPattern::Uniform],
             loads: vec![0.5],
+            buffer_modes: vec![BufferMode::Unbuffered],
             replications: 1,
-            buffer_mode: BufferMode::Unbuffered,
             cycles: 400,
             warmup: 50,
         }
@@ -123,9 +134,15 @@ impl CampaignConfig {
         self
     }
 
-    /// Builder-style setter for the buffer mode.
+    /// Builder-style setter collapsing the buffer-mode axis to one mode.
     pub fn with_buffer(mut self, mode: BufferMode) -> Self {
-        self.buffer_mode = mode;
+        self.buffer_modes = vec![mode];
+        self
+    }
+
+    /// Builder-style setter for the buffer-mode axis.
+    pub fn with_buffer_modes(mut self, modes: Vec<BufferMode>) -> Self {
+        self.buffer_modes = modes;
         self
     }
 
@@ -138,11 +155,16 @@ impl CampaignConfig {
 
     /// Number of scenarios the grid expands to.
     pub fn scenario_count(&self) -> usize {
-        self.cells.len() * self.traffic.len() * self.loads.len() * self.replications as usize
+        self.cells.len()
+            * self.traffic.len()
+            * self.loads.len()
+            * self.buffer_modes.len()
+            * self.replications as usize
     }
 
     /// Checks the grid for structural problems (empty axes, unbuildable
-    /// stage counts, out-of-range loads, a zero-cycle run).
+    /// stage counts, out-of-range loads, invalid buffer parameters, a
+    /// zero-cycle run).
     pub fn validate(&self) -> Result<(), CampaignError> {
         if self.cells.is_empty() {
             return Err(CampaignError::EmptyAxis("cells"));
@@ -159,6 +181,12 @@ impl CampaignConfig {
         }
         if self.loads.is_empty() {
             return Err(CampaignError::EmptyAxis("loads"));
+        }
+        if self.buffer_modes.is_empty() {
+            return Err(CampaignError::EmptyAxis("buffer_modes"));
+        }
+        for mode in &self.buffer_modes {
+            mode.validate().map_err(CampaignError::InvalidBuffer)?;
         }
         if self.replications == 0 {
             return Err(CampaignError::EmptyAxis("replications"));
@@ -184,26 +212,29 @@ impl CampaignConfig {
     }
 
     /// Expands the grid into the flat scenario list, in its canonical order:
-    /// cells (outermost) × traffic × loads × replications (innermost). The
-    /// scenario index — and with it the derived seed — depends only on the
-    /// grid, never on thread scheduling.
+    /// cells (outermost) × traffic × loads × buffer modes × replications
+    /// (innermost). The scenario index — and with it the derived seed —
+    /// depends only on the grid, never on thread scheduling.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, CampaignError> {
         self.validate()?;
         let mut out = Vec::with_capacity(self.scenario_count());
         for &(network, stages) in &self.cells {
             for traffic in &self.traffic {
                 for &offered_load in &self.loads {
-                    for replication in 0..self.replications {
-                        let index = out.len();
-                        out.push(Scenario {
-                            index,
-                            network,
-                            stages,
-                            traffic: traffic.clone(),
-                            offered_load,
-                            replication,
-                            seed: scenario_seed(self.campaign_seed, index),
-                        });
+                    for &buffer_mode in &self.buffer_modes {
+                        for replication in 0..self.replications {
+                            let index = out.len();
+                            out.push(Scenario {
+                                index,
+                                network,
+                                stages,
+                                traffic: traffic.clone(),
+                                offered_load,
+                                buffer_mode,
+                                replication,
+                                seed: scenario_seed(self.campaign_seed, index),
+                            });
+                        }
                     }
                 }
             }
@@ -212,7 +243,8 @@ impl CampaignConfig {
     }
 }
 
-/// One fully specified `(network, traffic, load, replication)` run.
+/// One fully specified `(network, traffic, load, buffer mode, replication)`
+/// run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Position in the canonical grid expansion.
@@ -225,6 +257,8 @@ pub struct Scenario {
     pub traffic: TrafficPattern,
     /// Offered load.
     pub offered_load: f64,
+    /// Buffer architecture of the cells.
+    pub buffer_mode: BufferMode,
     /// Replication number within the grid point.
     pub replication: u32,
     /// Derived ChaCha8 seed for this scenario.
@@ -236,7 +270,7 @@ impl Scenario {
     pub fn sim_config(&self, campaign: &CampaignConfig) -> SimConfig {
         SimConfig {
             offered_load: self.offered_load,
-            buffer_mode: campaign.buffer_mode,
+            buffer_mode: self.buffer_mode,
             traffic: self.traffic.clone(),
             cycles: campaign.cycles,
             warmup: campaign.warmup,
@@ -278,8 +312,18 @@ pub struct ScenarioResult {
     pub injected: u64,
     /// Packets delivered to their destination.
     pub delivered: u64,
-    /// Packets dropped inside the fabric.
+    /// Packets dropped inside the fabric (both causes).
     pub dropped: u64,
+    /// Packets dropped to an out-port arbitration loss.
+    pub dropped_arbitration: u64,
+    /// Packets dropped to downstream backpressure.
+    pub dropped_backpressure: u64,
+    /// Flits ejected at the last stage (wormhole scenarios; zero otherwise).
+    pub flits_delivered: u64,
+    /// Flit-cycles lost to arbitration or backpressure stalls (wormhole).
+    pub flit_stalls: u64,
+    /// Mean fraction of storage (queue slots or lanes) occupied.
+    pub mean_occupancy: f64,
     /// Packets still in flight when the run ended.
     pub in_flight: u64,
 }
@@ -295,6 +339,10 @@ pub struct CampaignAggregate {
     pub total_delivered: u64,
     /// Sum of `dropped` over all scenarios.
     pub total_dropped: u64,
+    /// Sum of `dropped_arbitration` over all scenarios.
+    pub total_dropped_arbitration: u64,
+    /// Sum of `dropped_backpressure` over all scenarios.
+    pub total_dropped_backpressure: u64,
     /// Unweighted mean of the per-scenario throughputs.
     pub mean_throughput: f64,
     /// Largest per-scenario p99 latency.
@@ -309,8 +357,8 @@ pub struct CampaignAggregate {
 pub struct CampaignReport {
     /// The master seed the campaign ran with.
     pub campaign_seed: u64,
-    /// Buffering discipline shared by every scenario.
-    pub buffer_mode: BufferMode,
+    /// The buffer-mode axis of the grid.
+    pub buffer_modes: Vec<BufferMode>,
     /// Measured cycles per scenario.
     pub cycles: u64,
     /// Warm-up cycles per scenario.
@@ -341,16 +389,26 @@ impl CampaignReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<28} {:>3} {:<14} {:>5} {:>4} {:>9} {:>9} {:>5} {:>8}",
-            "network", "n", "traffic", "load", "rep", "tput", "mean lat", "p99", "dropped"
+            "{:<28} {:>3} {:<14} {:<14} {:>5} {:>4} {:>9} {:>9} {:>5} {:>8}",
+            "network",
+            "n",
+            "traffic",
+            "buffers",
+            "load",
+            "rep",
+            "tput",
+            "mean lat",
+            "p99",
+            "dropped"
         );
         for r in &self.scenarios {
             let _ = writeln!(
                 out,
-                "{:<28} {:>3} {:<14} {:>5.2} {:>4} {:>9.4} {:>9.2} {:>5} {:>8}",
+                "{:<28} {:>3} {:<14} {:<14} {:>5.2} {:>4} {:>9.4} {:>9.2} {:>5} {:>8}",
                 r.scenario.network.name(),
                 r.scenario.stages,
                 r.scenario.traffic.label(),
+                r.scenario.buffer_mode.label(),
                 r.scenario.offered_load,
                 r.scenario.replication,
                 r.throughput,
@@ -382,6 +440,8 @@ pub enum CampaignError {
     InvalidStages(usize),
     /// An offered load is outside `[0, 1]`.
     InvalidLoad(f64),
+    /// A buffer mode on the grid axis has invalid parameters.
+    InvalidBuffer(ConfigError),
     /// The measured run has zero cycles.
     ZeroCycles,
     /// The warm-up consumes the whole cycle budget, leaving no measurement
@@ -399,6 +459,14 @@ pub enum CampaignError {
         /// The underlying fabric error.
         error: FabricError,
     },
+    /// A scenario's simulator configuration was rejected (should be caught
+    /// by [`CampaignConfig::validate`]; kept for exhaustiveness).
+    Config {
+        /// Index of the failing scenario.
+        scenario: usize,
+        /// The underlying configuration error.
+        error: ConfigError,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -411,6 +479,9 @@ impl std::fmt::Display for CampaignError {
             CampaignError::InvalidLoad(load) => {
                 write!(f, "offered load {load} is not a probability")
             }
+            CampaignError::InvalidBuffer(error) => {
+                write!(f, "invalid buffer mode on the grid axis: {error}")
+            }
             CampaignError::ZeroCycles => write!(f, "campaign runs zero measured cycles"),
             CampaignError::WarmupTooLong { warmup, cycles } => write!(
                 f,
@@ -418,6 +489,12 @@ impl std::fmt::Display for CampaignError {
             ),
             CampaignError::Fabric { scenario, error } => {
                 write!(f, "scenario {scenario} cannot be simulated: {error}")
+            }
+            CampaignError::Config { scenario, error } => {
+                write!(
+                    f,
+                    "scenario {scenario} has an invalid configuration: {error}"
+                )
             }
         }
     }
@@ -432,11 +509,16 @@ fn run_scenario(
 ) -> Result<ScenarioResult, CampaignError> {
     let net = scenario.network.build(scenario.stages);
     let terminals = 1usize << scenario.stages;
-    let metrics =
-        simulate(net, scenario.sim_config(campaign)).map_err(|error| CampaignError::Fabric {
+    let metrics = simulate(net, scenario.sim_config(campaign)).map_err(|error| match error {
+        SimError::Fabric(error) => CampaignError::Fabric {
             scenario: scenario.index,
             error,
-        })?;
+        },
+        SimError::Config(error) => CampaignError::Config {
+            scenario: scenario.index,
+            error,
+        },
+    })?;
     Ok(ScenarioResult {
         scenario: scenario.clone(),
         throughput: metrics.normalized_throughput(terminals),
@@ -447,7 +529,12 @@ fn run_scenario(
         offered: metrics.offered,
         injected: metrics.injected,
         delivered: metrics.delivered,
-        dropped: metrics.dropped,
+        dropped: metrics.dropped(),
+        dropped_arbitration: metrics.dropped_arbitration,
+        dropped_backpressure: metrics.dropped_backpressure,
+        flits_delivered: metrics.flits_delivered,
+        flit_stalls: metrics.flit_stalls,
+        mean_occupancy: metrics.mean_lane_occupancy(),
         in_flight: metrics.in_flight_at_end,
     })
 }
@@ -502,7 +589,7 @@ pub fn run_campaign(
     let aggregate = aggregate(&results);
     Ok(CampaignReport {
         campaign_seed: config.campaign_seed,
-        buffer_mode: config.buffer_mode,
+        buffer_modes: config.buffer_modes.clone(),
         cycles: config.cycles,
         warmup: config.warmup,
         scenario_count: results.len(),
@@ -528,6 +615,8 @@ fn aggregate(results: &[ScenarioResult]) -> CampaignAggregate {
         total_injected: 0,
         total_delivered: 0,
         total_dropped: 0,
+        total_dropped_arbitration: 0,
+        total_dropped_backpressure: 0,
         mean_throughput: 0.0,
         worst_p99_latency: 0,
         worst_mean_latency: 0.0,
@@ -537,6 +626,8 @@ fn aggregate(results: &[ScenarioResult]) -> CampaignAggregate {
         a.total_injected += r.injected;
         a.total_delivered += r.delivered;
         a.total_dropped += r.dropped;
+        a.total_dropped_arbitration += r.dropped_arbitration;
+        a.total_dropped_backpressure += r.dropped_backpressure;
         a.mean_throughput += r.throughput;
         a.worst_p99_latency = a.worst_p99_latency.max(r.p99_latency);
         a.worst_mean_latency = a.worst_mean_latency.max(r.mean_latency);
@@ -558,6 +649,14 @@ mod tests {
             .with_cycles(60, 0)
     }
 
+    fn worm() -> BufferMode {
+        BufferMode::Wormhole {
+            lanes: 2,
+            lane_depth: 2,
+            flits_per_packet: 3,
+        }
+    }
+
     #[test]
     fn expansion_is_canonical_and_seeded_per_index() {
         let cfg = tiny().with_replications(2);
@@ -568,7 +667,8 @@ mod tests {
             assert_eq!(s.index, i);
             assert_eq!(s.seed, scenario_seed(cfg.campaign_seed, i));
         }
-        // Innermost axis is the replication; loads change next.
+        // Innermost axis is the replication; loads change next (one buffer
+        // mode collapses that axis).
         assert_eq!(scenarios[0].replication, 0);
         assert_eq!(scenarios[1].replication, 1);
         assert_eq!(scenarios[0].offered_load, scenarios[1].offered_load);
@@ -576,6 +676,25 @@ mod tests {
         // All derived seeds are distinct.
         let seeds: std::collections::HashSet<u64> = scenarios.iter().map(|s| s.seed).collect();
         assert_eq!(seeds.len(), scenarios.len());
+    }
+
+    #[test]
+    fn buffer_modes_are_a_grid_axis_between_loads_and_replications() {
+        let cfg = tiny()
+            .with_buffer_modes(vec![BufferMode::Unbuffered, BufferMode::Fifo(4), worm()])
+            .with_replications(2);
+        let scenarios = cfg.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 6 * 2 * 2 * 3 * 2);
+        assert_eq!(scenarios.len(), cfg.scenario_count());
+        // Replication is innermost, buffer mode next.
+        assert_eq!(scenarios[0].buffer_mode, BufferMode::Unbuffered);
+        assert_eq!(scenarios[1].buffer_mode, BufferMode::Unbuffered);
+        assert_eq!(scenarios[2].buffer_mode, BufferMode::Fifo(4));
+        assert_eq!(scenarios[4].buffer_mode, worm());
+        assert_eq!(scenarios[5].replication, 1);
+        // The load changes only after the whole buffer × replication block.
+        assert_eq!(scenarios[0].offered_load, scenarios[5].offered_load);
+        assert_ne!(scenarios[0].offered_load, scenarios[6].offered_load);
     }
 
     #[test]
@@ -591,6 +710,17 @@ mod tests {
         assert_eq!(
             tiny().with_traffic(vec![]).scenarios().unwrap_err(),
             CampaignError::EmptyAxis("traffic")
+        );
+        assert_eq!(
+            tiny().with_buffer_modes(vec![]).scenarios().unwrap_err(),
+            CampaignError::EmptyAxis("buffer_modes")
+        );
+        assert_eq!(
+            tiny()
+                .with_buffer(BufferMode::Fifo(0))
+                .scenarios()
+                .unwrap_err(),
+            CampaignError::InvalidBuffer(ConfigError::ZeroParameter("fifo depth"))
         );
         assert_eq!(
             tiny().with_replications(0).scenarios().unwrap_err(),
@@ -631,7 +761,7 @@ mod tests {
 
     #[test]
     fn report_is_independent_of_thread_count() {
-        let cfg = tiny();
+        let cfg = tiny().with_buffer_modes(vec![BufferMode::Unbuffered, worm()]);
         let one = run_campaign(&cfg, 1).unwrap();
         let many = run_campaign(&cfg, 7).unwrap();
         let auto = run_campaign(&cfg, 0).unwrap();
@@ -648,9 +778,15 @@ mod tests {
         assert_eq!(report.aggregate.total_delivered, sum);
         for r in &report.scenarios {
             assert_eq!(r.injected, r.delivered + r.dropped + r.in_flight, "{r:?}");
+            assert_eq!(r.dropped, r.dropped_arbitration + r.dropped_backpressure);
             assert!(r.p99_latency <= r.max_latency);
             assert!(r.throughput > 0.0 && r.throughput <= 1.0);
         }
+        assert_eq!(
+            report.aggregate.total_dropped,
+            report.aggregate.total_dropped_arbitration
+                + report.aggregate.total_dropped_backpressure
+        );
         assert!(report.aggregate.mean_throughput > 0.0);
         // The summary table has one row per scenario plus header and footer.
         assert_eq!(
@@ -668,7 +804,13 @@ mod tests {
 
     #[test]
     fn reports_round_trip_through_json() {
-        let report = run_campaign(&tiny().with_loads(vec![0.4]), 2).unwrap();
+        let report = run_campaign(
+            &tiny()
+                .with_loads(vec![0.4])
+                .with_buffer_modes(vec![BufferMode::Fifo(2), worm()]),
+            2,
+        )
+        .unwrap();
         let json = report.to_json();
         let back: CampaignReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);

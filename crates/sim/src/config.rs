@@ -13,7 +13,99 @@ pub enum BufferMode {
     /// cannot advance stays in its queue; injection fails when the
     /// first-stage queue is full.
     Fifo(usize),
+    /// Multi-lane virtual-channel wormhole switching: each packet is split
+    /// into `flits_per_packet` flits, every cell owns `lanes` lanes of
+    /// `lane_depth` flits each, a worm's head flit allocates one lane per
+    /// cell it traverses, and a blocked worm holds its lanes across stages
+    /// until the tail flit drains through.
+    Wormhole {
+        /// Virtual-channel lanes per cell.
+        lanes: usize,
+        /// Flit capacity of each lane.
+        lane_depth: usize,
+        /// Number of flits every packet is split into.
+        flits_per_packet: usize,
+    },
 }
+
+impl BufferMode {
+    /// Short stable label for tables and report identifiers.
+    pub fn label(&self) -> String {
+        match self {
+            BufferMode::Unbuffered => "unbuffered".to_string(),
+            BufferMode::Fifo(depth) => format!("fifo({depth})"),
+            BufferMode::Wormhole {
+                lanes,
+                lane_depth,
+                flits_per_packet,
+            } => format!("worm({lanes}x{lane_depth}x{flits_per_packet})"),
+        }
+    }
+
+    /// Checks the mode's parameters (every lane/depth/flit count must be
+    /// nonzero).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            BufferMode::Unbuffered => Ok(()),
+            BufferMode::Fifo(depth) => {
+                if depth == 0 {
+                    Err(ConfigError::ZeroParameter("fifo depth"))
+                } else {
+                    Ok(())
+                }
+            }
+            BufferMode::Wormhole {
+                lanes,
+                lane_depth,
+                flits_per_packet,
+            } => {
+                if lanes == 0 {
+                    Err(ConfigError::ZeroParameter("wormhole lanes"))
+                } else if lane_depth == 0 {
+                    Err(ConfigError::ZeroParameter("wormhole lane depth"))
+                } else if flits_per_packet == 0 {
+                    Err(ConfigError::ZeroParameter("flits per packet"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Why a [`SimConfig`] is not runnable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The offered load is not a probability in `[0, 1]`.
+    InvalidLoad(f64),
+    /// The warm-up consumes the whole cycle budget, leaving no measurement
+    /// window.
+    WarmupExceedsCycles {
+        /// Configured warm-up cycles.
+        warmup: u64,
+        /// Configured total cycles.
+        cycles: u64,
+    },
+    /// A buffer-mode parameter that must be nonzero is zero.
+    ZeroParameter(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidLoad(load) => {
+                write!(f, "offered load {load} is not a probability in [0, 1]")
+            }
+            ConfigError::WarmupExceedsCycles { warmup, cycles } => write!(
+                f,
+                "warm-up of {warmup} cycles consumes the whole {cycles}-cycle budget"
+            ),
+            ConfigError::ZeroParameter(what) => write!(f, "{what} must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Complete description of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,9 +140,28 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Builder-style setter for the offered load.
+    /// Checks the configuration for typed errors instead of panicking or
+    /// silently misbehaving mid-run: the offered load must be a probability,
+    /// the warm-up must leave a measurement window, and every buffer-mode
+    /// parameter must be nonzero. [`crate::Simulator::new`] calls this, so
+    /// invalid configurations are rejected at construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.offered_load) {
+            // NaN fails the range check too: PartialOrd orders it with nothing.
+            return Err(ConfigError::InvalidLoad(self.offered_load));
+        }
+        if self.warmup >= self.cycles {
+            return Err(ConfigError::WarmupExceedsCycles {
+                warmup: self.warmup,
+                cycles: self.cycles,
+            });
+        }
+        self.buffer_mode.validate()
+    }
+
+    /// Builder-style setter for the offered load (validated by
+    /// [`SimConfig::validate`] at simulator construction).
     pub fn with_load(mut self, load: f64) -> Self {
-        assert!((0.0..=1.0).contains(&load), "load must be a probability");
         self.offered_load = load;
         self
     }
@@ -101,11 +212,84 @@ mod tests {
         assert_eq!(cfg.cycles, 500);
         assert_eq!(cfg.warmup, 50);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "probability")]
-    fn out_of_range_load_is_rejected() {
-        let _ = SimConfig::default().with_load(1.5);
+    fn out_of_range_loads_are_rejected_with_a_typed_error() {
+        assert_eq!(
+            SimConfig::default().with_load(1.5).validate(),
+            Err(ConfigError::InvalidLoad(1.5))
+        );
+        assert_eq!(
+            SimConfig::default().with_load(-0.1).validate(),
+            Err(ConfigError::InvalidLoad(-0.1))
+        );
+        assert!(matches!(
+            SimConfig::default().with_load(f64::NAN).validate(),
+            Err(ConfigError::InvalidLoad(_))
+        ));
+    }
+
+    #[test]
+    fn warmup_must_leave_a_measurement_window() {
+        assert_eq!(
+            SimConfig::default().with_cycles(100, 100).validate(),
+            Err(ConfigError::WarmupExceedsCycles {
+                warmup: 100,
+                cycles: 100
+            })
+        );
+        assert_eq!(
+            SimConfig::default().with_cycles(0, 0).validate(),
+            Err(ConfigError::WarmupExceedsCycles {
+                warmup: 0,
+                cycles: 0
+            })
+        );
+        assert_eq!(SimConfig::default().with_cycles(100, 99).validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_buffer_parameters_are_rejected() {
+        assert_eq!(
+            BufferMode::Fifo(0).validate(),
+            Err(ConfigError::ZeroParameter("fifo depth"))
+        );
+        for (lanes, lane_depth, flits_per_packet) in [(0, 4, 4), (2, 0, 4), (2, 4, 0)] {
+            let mode = BufferMode::Wormhole {
+                lanes,
+                lane_depth,
+                flits_per_packet,
+            };
+            assert!(matches!(
+                mode.validate(),
+                Err(ConfigError::ZeroParameter(_))
+            ));
+        }
+        assert_eq!(
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 4,
+                flits_per_packet: 4
+            }
+            .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn labels_are_short_and_parameterized() {
+        assert_eq!(BufferMode::Unbuffered.label(), "unbuffered");
+        assert_eq!(BufferMode::Fifo(8).label(), "fifo(8)");
+        assert_eq!(
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 4,
+                flits_per_packet: 8
+            }
+            .label(),
+            "worm(2x4x8)"
+        );
     }
 }

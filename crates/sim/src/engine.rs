@@ -4,30 +4,64 @@
 //! to the input side so that space freed in a stage is visible to the stage
 //! behind it within the same cycle:
 //!
-//! 1. **delivery** — every packet sitting at a last-stage cell leaves the
-//!    fabric (its latency is recorded, and a misroute counter audits that it
-//!    really reached its destination cell);
-//! 2. **switching** — every interior cell forwards up to two packets, one
-//!    per out-port, choosing the port from the packet's destination tag.
-//!    When the two head packets want the same port an arbitration winner is
-//!    picked uniformly at random; the loser is dropped (unbuffered mode) or
-//!    retained (FIFO mode). A forwarded packet only moves if the downstream
-//!    cell has queue space (always true in unbuffered mode).
+//! 1. **delivery** — everything deliverable at a last-stage cell leaves the
+//!    fabric (latencies are recorded, and a misroute counter audits that
+//!    every packet really reached its destination cell);
+//! 2. **switching** — every interior cell moves traffic one stage forward,
+//!    choosing the out-port from the packet's destination tag;
 //! 3. **injection** — each of the two terminals of every first-stage cell
 //!    offers a packet with probability `offered_load`; accepted packets are
 //!    tagged with the routing tag of their destination.
 //!
+//! The *storage* behind those phases is pluggable: the engine owns the
+//! clock, the ChaCha8 RNG and the traffic sources, and drives a
+//! [`SwitchCore`] — unbuffered, FIFO, or multi-lane wormhole (see
+//! [`crate::switch`]) — selected by [`SimConfig::buffer_mode`]. All cores
+//! store their state in flat, preallocated arenas.
+//!
 //! The engine is deterministic for a given [`SimConfig::seed`].
 
-use crate::config::{BufferMode, SimConfig};
+use crate::config::{ConfigError, SimConfig};
 use crate::fabric::{Fabric, FabricError};
 use crate::metrics::Metrics;
 use crate::packet::Packet;
+use crate::switch::{build_core, SwitchCore};
 use min_core::ConnectionNetwork;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
+
+/// Why a simulator could not be built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimError {
+    /// The configuration failed validation ([`SimConfig::validate`]).
+    Config(ConfigError),
+    /// The network cannot be simulated.
+    Fabric(FabricError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            SimError::Fabric(e) => write!(f, "unsimulatable network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<FabricError> for SimError {
+    fn from(e: FabricError) -> Self {
+        SimError::Fabric(e)
+    }
+}
 
 /// A running simulation.
 #[derive(Debug)]
@@ -35,37 +69,31 @@ pub struct Simulator {
     fabric: Fabric,
     config: SimConfig,
     rng: ChaCha8Rng,
-    /// `queues[s][cell]` — packets waiting at cell `cell` of stage `s`.
-    queues: Vec<Vec<VecDeque<Packet>>>,
+    core: Box<dyn SwitchCore>,
     cycle: u64,
     next_packet_id: u64,
     metrics: Metrics,
 }
 
 impl Simulator {
-    /// Builds a simulator for the given network and configuration.
-    pub fn new(net: ConnectionNetwork, config: SimConfig) -> Result<Self, FabricError> {
+    /// Builds a simulator for the given network and configuration. The
+    /// configuration is validated first, so an out-of-range load, an
+    /// all-warm-up cycle budget or a zero lane/depth parameter is a typed
+    /// error here rather than a panic or silent misbehaviour mid-run.
+    pub fn new(net: ConnectionNetwork, config: SimConfig) -> Result<Self, SimError> {
+        config.validate()?;
         let fabric = Fabric::new(net)?;
-        let stages = fabric.stages();
-        let cells = fabric.cells();
+        let core = build_core(config.buffer_mode, fabric.stages(), fabric.cells());
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         Ok(Simulator {
             fabric,
             config,
             rng,
-            queues: vec![vec![VecDeque::new(); cells]; stages],
+            core,
             cycle: 0,
             next_packet_id: 0,
             metrics: Metrics::default(),
         })
-    }
-
-    /// Per-cell queue capacity implied by the buffer mode.
-    fn capacity(&self) -> usize {
-        match self.config.buffer_mode {
-            BufferMode::Unbuffered => 2,
-            BufferMode::Fifo(depth) => 2 * depth.max(1),
-        }
     }
 
     /// The fabric being simulated.
@@ -85,98 +113,33 @@ impl Simulator {
 
     /// Number of packets currently inside the fabric.
     pub fn in_flight(&self) -> u64 {
-        self.queues
-            .iter()
-            .map(|stage| stage.iter().map(|q| q.len() as u64).sum::<u64>())
-            .sum()
+        self.core.in_flight()
     }
 
     /// Runs one cycle.
     pub fn step(&mut self) {
-        let stages = self.fabric.stages();
-        let cells = self.fabric.cells();
-        let capacity = self.capacity();
-        let unbuffered = matches!(self.config.buffer_mode, BufferMode::Unbuffered);
-
         // Phase 1: delivery at the last stage.
-        for cell in 0..cells {
-            while let Some(p) = self.queues[stages - 1][cell].pop_front() {
-                self.metrics.delivered += 1;
-                if p.destination as usize != cell {
-                    self.metrics.misrouted += 1;
-                }
-                if p.injected_at >= self.config.warmup {
-                    self.metrics.record_latency(self.cycle - p.injected_at);
-                }
-            }
-        }
+        self.core.deliver(
+            &self.fabric,
+            self.cycle,
+            self.config.warmup,
+            &mut self.metrics,
+        );
 
         // Phase 2: switching, from the next-to-last stage back to the first.
-        for s in (0..stages - 1).rev() {
-            for cell in 0..cells {
-                // A 2x2 cell forwards at most one packet per out-port per cycle.
-                let mut port_used = [false; 2];
-                let mut retained: VecDeque<Packet> = VecDeque::new();
-                // Consider at most the two packets at the head of the queue
-                // this cycle; the rest stay queued (FIFO order preserved).
-                let mut candidates: Vec<Packet> = Vec::with_capacity(2);
-                while candidates.len() < 2 {
-                    match self.queues[s][cell].pop_front() {
-                        Some(p) => candidates.push(p),
-                        None => break,
-                    }
-                }
-                // Resolve same-port contention with a fair coin.
-                if candidates.len() == 2 {
-                    let p0 = candidates[0].port_at(s);
-                    let p1 = candidates[1].port_at(s);
-                    if p0 == p1 && self.rng.gen_bool(0.5) {
-                        candidates.swap(0, 1);
-                    }
-                }
-                for packet in candidates {
-                    let port = packet.port_at(s) as usize;
-                    if port_used[port] {
-                        // Lost arbitration.
-                        if unbuffered {
-                            self.metrics.dropped += 1;
-                        } else {
-                            retained.push_back(packet);
-                        }
-                        continue;
-                    }
-                    let next = self.fabric.next_cell(s, cell as u32, port as u8) as usize;
-                    if self.queues[s + 1][next].len() < capacity {
-                        port_used[port] = true;
-                        self.queues[s + 1][next].push_back(packet);
-                    } else if unbuffered {
-                        self.metrics.dropped += 1;
-                    } else {
-                        retained.push_back(packet);
-                    }
-                }
-                // Put retained packets back at the front, preserving order.
-                while let Some(p) = retained.pop_back() {
-                    self.queues[s][cell].push_front(p);
-                }
-                // In unbuffered mode nothing may linger in an interior queue.
-                if unbuffered && s > 0 {
-                    while let Some(_stale) = self.queues[s][cell].pop_front() {
-                        self.metrics.dropped += 1;
-                    }
-                }
-            }
-        }
+        self.core
+            .switch(&self.fabric, &mut self.rng, &mut self.metrics);
 
         // Phase 3: injection at the first stage (two terminals per cell).
         let width_bits = self.fabric.network().width();
+        let cells = self.fabric.cells();
         for cell in 0..cells {
             for _terminal in 0..2 {
                 if !self.rng.gen_bool(self.config.offered_load) {
                     continue;
                 }
                 self.metrics.offered += 1;
-                if self.queues[0][cell].len() >= capacity {
+                if !self.core.can_accept(cell) {
                     // No space at the source cell: the packet is refused.
                     continue;
                 }
@@ -195,13 +158,16 @@ impl Simulator {
                 };
                 self.next_packet_id += 1;
                 self.metrics.injected += 1;
-                self.queues[0][cell].push_back(packet);
+                self.core.inject(cell, packet);
             }
         }
 
         self.cycle += 1;
         self.metrics.measured_cycles = self.cycle;
-        self.metrics.in_flight_at_end = self.in_flight();
+        self.metrics.in_flight_at_end = self.core.in_flight();
+        let (occupied, slots) = self.core.occupancy();
+        self.metrics.lane_occupancy_sum += occupied;
+        self.metrics.lane_slot_cycles += slots;
     }
 
     /// Runs the configured number of cycles and returns the metrics.
@@ -214,18 +180,27 @@ impl Simulator {
 }
 
 /// Convenience wrapper: build a simulator, run it, return the metrics.
-pub fn simulate(net: ConnectionNetwork, config: SimConfig) -> Result<Metrics, FabricError> {
+pub fn simulate(net: ConnectionNetwork, config: SimConfig) -> Result<Metrics, SimError> {
     Ok(Simulator::new(net, config)?.run())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::BufferMode;
     use crate::traffic::TrafficPattern;
     use min_networks::{baseline, omega};
 
     fn quick_config() -> SimConfig {
         SimConfig::default().with_cycles(400, 0).with_seed(42)
+    }
+
+    fn wormhole(lanes: usize, lane_depth: usize, flits_per_packet: usize) -> BufferMode {
+        BufferMode::Wormhole {
+            lanes,
+            lane_depth,
+            flits_per_packet,
+        }
     }
 
     #[test]
@@ -238,13 +213,17 @@ mod tests {
     }
 
     #[test]
-    fn conservation_holds_in_both_buffer_modes() {
-        for mode in [BufferMode::Unbuffered, BufferMode::Fifo(4)] {
+    fn conservation_holds_in_all_buffer_modes() {
+        for mode in [
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            wormhole(2, 4, 4),
+        ] {
             let metrics =
                 simulate(omega(4), quick_config().with_load(0.9).with_buffer(mode)).unwrap();
             assert_eq!(
                 metrics.injected,
-                metrics.delivered + metrics.dropped + metrics.in_flight_at_end,
+                metrics.delivered + metrics.dropped() + metrics.in_flight_at_end,
                 "mode {mode:?}"
             );
             assert!(metrics.offered >= metrics.injected);
@@ -255,8 +234,12 @@ mod tests {
     fn unbuffered_mode_drops_under_heavy_load() {
         let metrics = simulate(omega(4), quick_config().with_load(1.0)).unwrap();
         assert!(
-            metrics.dropped > 0,
+            metrics.dropped() > 0,
             "full load must cause arbitration losses"
+        );
+        assert!(
+            metrics.dropped_arbitration > 0,
+            "unbuffered losses are arbitration losses"
         );
         // Patel's analysis: the per-terminal throughput of an unbuffered
         // 4-stage delta network at full load is ≈ 0.52 — well below 1 and
@@ -276,10 +259,10 @@ mod tests {
         )
         .unwrap();
         assert!(
-            unbuffered.dropped > 0,
+            unbuffered.dropped() > 0,
             "the unbuffered fabric loses packets"
         );
-        assert_eq!(buffered.dropped, 0, "backpressure replaces dropping");
+        assert_eq!(buffered.dropped(), 0, "backpressure replaces dropping");
         assert!(buffered.delivered > 0);
         // With FIFOs, the fabric instead refuses injections when the source
         // queue is full: acceptance falls below 100% at full load.
@@ -289,7 +272,7 @@ mod tests {
     #[test]
     fn low_load_uniform_traffic_is_delivered_almost_losslessly() {
         let metrics = simulate(omega(4), quick_config().with_load(0.1)).unwrap();
-        let loss_rate = metrics.dropped as f64 / metrics.injected.max(1) as f64;
+        let loss_rate = metrics.dropped() as f64 / metrics.injected.max(1) as f64;
         assert!(
             loss_rate < 0.2,
             "loss rate {loss_rate} too high at 10% load"
@@ -334,11 +317,18 @@ mod tests {
 
     #[test]
     fn simulation_is_deterministic_for_a_fixed_seed() {
-        let m1 = simulate(omega(4), quick_config()).unwrap();
-        let m2 = simulate(omega(4), quick_config()).unwrap();
-        assert_eq!(m1, m2);
-        let m3 = simulate(omega(4), quick_config().with_seed(43)).unwrap();
-        assert_ne!(m1, m3, "different seeds should differ somewhere");
+        for mode in [
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            wormhole(2, 2, 3),
+        ] {
+            let cfg = quick_config().with_buffer(mode);
+            let m1 = simulate(omega(4), cfg.clone()).unwrap();
+            let m2 = simulate(omega(4), cfg.clone()).unwrap();
+            assert_eq!(m1, m2, "mode {mode:?}");
+            let m3 = simulate(omega(4), cfg.with_seed(43)).unwrap();
+            assert_ne!(m1, m3, "different seeds should differ somewhere");
+        }
     }
 
     #[test]
@@ -352,5 +342,130 @@ mod tests {
         let m2 = simulate(omega(3), cfg).unwrap();
         assert_eq!(m1, m2);
         assert_eq!(s1.cycle(), 50);
+    }
+
+    #[test]
+    fn invalid_configurations_are_typed_errors_not_panics() {
+        let cases = [
+            (
+                quick_config().with_load(1.5),
+                SimError::Config(ConfigError::InvalidLoad(1.5)),
+            ),
+            (
+                quick_config().with_cycles(10, 10),
+                SimError::Config(ConfigError::WarmupExceedsCycles {
+                    warmup: 10,
+                    cycles: 10,
+                }),
+            ),
+            (
+                quick_config().with_buffer(BufferMode::Fifo(0)),
+                SimError::Config(ConfigError::ZeroParameter("fifo depth")),
+            ),
+            (
+                quick_config().with_buffer(wormhole(0, 4, 4)),
+                SimError::Config(ConfigError::ZeroParameter("wormhole lanes")),
+            ),
+        ];
+        for (cfg, expected) in cases {
+            assert_eq!(Simulator::new(omega(3), cfg).unwrap_err(), expected);
+        }
+    }
+
+    #[test]
+    fn wormhole_delivers_without_drops_or_misroutes() {
+        let metrics = simulate(
+            omega(4),
+            quick_config().with_load(0.8).with_buffer(wormhole(2, 4, 4)),
+        )
+        .unwrap();
+        assert!(metrics.delivered > 0);
+        assert_eq!(metrics.misrouted, 0);
+        assert_eq!(metrics.dropped(), 0, "wormhole applies backpressure");
+        assert_eq!(
+            metrics.injected,
+            metrics.delivered + metrics.in_flight_at_end
+        );
+    }
+
+    #[test]
+    fn wormhole_latency_reflects_flit_serialization() {
+        // At low load a worm crosses stages - 1 links and then streams its
+        // remaining flits out one per cycle, so the latency floor is roughly
+        // (stages - 1) + (flits - 1); the packet-atomic modes sit near
+        // stages - 1.
+        let flits = 6;
+        let packetized = simulate(omega(4), quick_config().with_load(0.05)).unwrap();
+        let worm = simulate(
+            omega(4),
+            quick_config()
+                .with_load(0.05)
+                .with_buffer(wormhole(2, 4, flits)),
+        )
+        .unwrap();
+        assert!(
+            worm.mean_latency() >= packetized.mean_latency() + (flits - 2) as f64,
+            "wormhole {} vs packet {}",
+            worm.mean_latency(),
+            packetized.mean_latency()
+        );
+    }
+
+    #[test]
+    fn wormhole_flit_accounting_brackets_the_deliveries() {
+        let flits = 4u64;
+        let m = simulate(
+            omega(4),
+            quick_config()
+                .with_load(1.0)
+                .with_buffer(wormhole(2, 2, flits as usize)),
+        )
+        .unwrap();
+        // Every delivered worm ejected exactly `flits` flits; partially
+        // ejected worms account for the slack up to in-flight count.
+        assert!(m.flits_delivered >= m.delivered * flits);
+        assert!(m.flits_delivered <= (m.delivered + m.in_flight_at_end) * flits);
+        // Full load over a shared flit-wide link must stall someone.
+        assert!(m.flit_stalls > 0);
+        assert!(m.mean_lane_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn wormhole_packet_throughput_is_bounded_by_flit_serialization() {
+        // Each output link moves one flit per cycle, so packet throughput
+        // per terminal cannot exceed 1 / flits_per_packet.
+        let flits = 4;
+        let m = simulate(
+            omega(4),
+            quick_config()
+                .with_load(1.0)
+                .with_cycles(1_000, 0)
+                .with_buffer(wormhole(4, 4, flits)),
+        )
+        .unwrap();
+        let tput = m.normalized_throughput(16);
+        assert!(
+            tput <= 1.0 / flits as f64 + 0.02,
+            "throughput {tput} exceeds the flit-serialization bound"
+        );
+        assert!(tput > 0.05, "throughput {tput} suspiciously low");
+        // The flit throughput sits well above the packet throughput.
+        assert!(m.flit_throughput(16) > tput);
+    }
+
+    #[test]
+    fn wormhole_lane_starvation_throttles_injection() {
+        // One lane per cell at full load: acceptance must fall well below 1.
+        let m = simulate(
+            omega(4),
+            quick_config().with_load(1.0).with_buffer(wormhole(1, 2, 4)),
+        )
+        .unwrap();
+        assert!(
+            m.acceptance_rate() < 0.9,
+            "acceptance {}",
+            m.acceptance_rate()
+        );
+        assert!(m.delivered > 0);
     }
 }

@@ -9,22 +9,28 @@
 //! with which that consequence is demonstrated and benchmarked:
 //!
 //! * a cycle-synchronous model of a MIN built from 2×2 crossbar cells
-//!   ([`fabric::Fabric`]), in the two classical flavours — **unbuffered**
-//!   (Patel's delta-network model: a packet losing arbitration is dropped)
-//!   and **buffered** (per-input FIFOs with backpressure);
+//!   ([`fabric::Fabric`]) driven through a pluggable, arena-backed
+//!   [`switch::SwitchCore`] in three flavours — **unbuffered** (Patel's
+//!   delta-network model: a packet losing arbitration is dropped),
+//!   **buffered** (per-cell FIFOs with backpressure) and **wormhole**
+//!   (multi-lane virtual channels: packets split into flits, lanes
+//!   allocated per worm and held across stages while blocked);
 //! * destination-tag routing using the self-routing tables of `min-routing`
 //!   (the simulator therefore requires a delta network, which every
 //!   PIPID-built network is);
 //! * traffic generators ([`traffic`]) — Bernoulli uniform, hot-spot, and
 //!   fixed permutation;
 //! * metrics ([`metrics`]) — offered/accepted/delivered counts, normalized
-//!   throughput, latency mean and tail (histogram-backed percentiles), plus
-//!   a conservation audit (injected = delivered + dropped + in flight) used
-//!   by the property tests;
+//!   throughput, per-cause drop counters (arbitration loss vs. downstream
+//!   backpressure), flit-level stall and lane-occupancy accounting for
+//!   saturation curves, latency mean and tail (histogram-backed
+//!   percentiles), plus a conservation audit (injected = delivered +
+//!   dropped + in flight) used by the property tests;
 //! * campaigns ([`campaign`]) — declarative simulation grids (catalog cell ×
-//!   traffic × load × replication) expanded into a work queue and fanned out
-//!   across scoped threads, with per-scenario seeds derived from the
-//!   campaign seed so reports are bitwise reproducible at any thread count.
+//!   traffic × load × buffer mode × replication) expanded into a work queue
+//!   and fanned out across scoped threads, with per-scenario seeds derived
+//!   from the campaign seed so reports are bitwise reproducible at any
+//!   thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,11 +41,13 @@ pub mod engine;
 pub mod fabric;
 pub mod metrics;
 pub mod packet;
+pub mod switch;
 pub mod traffic;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Scenario, ScenarioResult};
-pub use config::{BufferMode, SimConfig};
-pub use engine::{simulate, Simulator};
+pub use config::{BufferMode, ConfigError, SimConfig};
+pub use engine::{simulate, SimError, Simulator};
 pub use metrics::Metrics;
-pub use packet::Packet;
+pub use packet::{Flit, Packet};
+pub use switch::{FifoCore, RingArena, SwitchCore, UnbufferedCore, WormholeCore};
 pub use traffic::TrafficPattern;

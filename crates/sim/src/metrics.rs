@@ -15,9 +15,12 @@ pub struct Metrics {
     pub injected: u64,
     /// Packets delivered to their destination over the whole run.
     pub delivered: u64,
-    /// Packets dropped (unbuffered arbitration losses or full first-stage
-    /// queues) over the whole run.
-    pub dropped: u64,
+    /// Packets dropped because they lost an out-port arbitration in an
+    /// unbuffered cell.
+    pub dropped_arbitration: u64,
+    /// Packets dropped because the downstream cell had no space (unbuffered
+    /// mode only; buffered modes apply backpressure instead).
+    pub dropped_backpressure: u64,
     /// Packets still inside the fabric when the run ended.
     pub in_flight_at_end: u64,
     /// Sum of the latencies (in cycles) of the packets delivered inside the
@@ -28,6 +31,19 @@ pub struct Metrics {
     /// Packets delivered to the wrong destination (must always be zero; kept
     /// as an audit counter).
     pub misrouted: u64,
+    /// Flits ejected at the last stage (wormhole mode; zero in the
+    /// packet-atomic modes).
+    pub flits_delivered: u64,
+    /// Flit-cycles in which a flit was ready to cross a stage link but could
+    /// not move — it lost the per-port arbitration, found no free downstream
+    /// lane for its head, or found the downstream lane full (wormhole mode).
+    pub flit_stalls: u64,
+    /// Occupied storage units (queued packets, or active lanes in wormhole
+    /// mode) summed over every cycle — the numerator of the mean occupancy.
+    pub lane_occupancy_sum: u64,
+    /// Total storage units (queue slots, or lanes) summed over every cycle —
+    /// the denominator of the mean occupancy.
+    pub lane_slot_cycles: u64,
     /// Latency histogram: `latency_histogram[l]` is the number of measured
     /// packets delivered with a latency of exactly `l` cycles. Dense and
     /// exact: it grows to the largest observed latency, which is bounded by
@@ -38,6 +54,12 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Total packets dropped, summing both causes (arbitration losses and
+    /// downstream backpressure).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_arbitration + self.dropped_backpressure
+    }
+
     /// Delivered packets per port per cycle.
     ///
     /// Pass the number of output *terminals* (`N = 2 · cells`) to obtain the
@@ -49,6 +71,38 @@ impl Metrics {
             return 0.0;
         }
         self.delivered as f64 / (self.measured_cycles as f64 * ports as f64)
+    }
+
+    /// Offered packets per port per cycle — the x-axis of a saturation /
+    /// stability curve (plot [`Metrics::normalized_throughput`] against it;
+    /// the two diverge past the saturation point).
+    pub fn offered_rate(&self, ports: usize) -> f64 {
+        if self.measured_cycles == 0 || ports == 0 {
+            return 0.0;
+        }
+        self.offered as f64 / (self.measured_cycles as f64 * ports as f64)
+    }
+
+    /// Ejected flits per port per cycle (wormhole mode). Saturates towards
+    /// the link capacity of one flit per cycle, so it measures how close the
+    /// fabric runs to its physical bandwidth even when packet throughput is
+    /// scaled down by the flit count.
+    pub fn flit_throughput(&self, ports: usize) -> f64 {
+        if self.measured_cycles == 0 || ports == 0 {
+            return 0.0;
+        }
+        self.flits_delivered as f64 / (self.measured_cycles as f64 * ports as f64)
+    }
+
+    /// Mean fraction of storage units (queue slots, or wormhole lanes) that
+    /// were occupied, averaged over the whole run. A saturation diagnostic:
+    /// it approaches 1 when the fabric is congestion-bound.
+    pub fn mean_lane_occupancy(&self) -> f64 {
+        if self.lane_slot_cycles == 0 {
+            0.0
+        } else {
+            self.lane_occupancy_sum as f64 / self.lane_slot_cycles as f64
+        }
     }
 
     /// Fraction of offered packets that were accepted into the fabric.
@@ -119,9 +173,9 @@ impl Metrics {
     /// Conservation audit: every injected packet is delivered, dropped or
     /// still in flight.
     pub fn conserved(&self) -> bool {
-        self.injected == self.delivered + self.dropped + self.in_flight_at_end
+        self.injected == self.delivered + self.dropped() + self.in_flight_at_end
             || // unbuffered drops are counted against injection in the same cycle
-            self.injected + self.dropped >= self.delivered
+            self.injected + self.dropped() >= self.delivered
     }
 }
 
@@ -136,20 +190,20 @@ mod tests {
             offered: 400,
             injected: 380,
             delivered: 350,
-            dropped: 20,
+            dropped_arbitration: 15,
+            dropped_backpressure: 5,
             in_flight_at_end: 10,
-            total_latency: 0,
-            max_latency: 0,
-            misrouted: 0,
-            latency_histogram: Vec::new(),
+            ..Metrics::default()
         };
         for _ in 0..350 {
             m.record_latency(4);
         }
+        assert_eq!(m.dropped(), 20);
         assert_eq!(m.measured_deliveries(), 350);
         assert_eq!(m.total_latency, 1_400);
         assert_eq!(m.max_latency, 4);
         assert!((m.normalized_throughput(8) - 350.0 / 800.0).abs() < 1e-12);
+        assert!((m.offered_rate(8) - 400.0 / 800.0).abs() < 1e-12);
         assert!((m.acceptance_rate() - 0.95).abs() < 1e-12);
         assert!((m.mean_latency() - 4.0).abs() < 1e-12);
         assert!(m.conserved());
@@ -159,9 +213,25 @@ mod tests {
     fn zero_division_is_guarded() {
         let m = Metrics::default();
         assert_eq!(m.normalized_throughput(8), 0.0);
+        assert_eq!(m.offered_rate(8), 0.0);
+        assert_eq!(m.flit_throughput(8), 0.0);
+        assert_eq!(m.mean_lane_occupancy(), 0.0);
         assert_eq!(m.mean_latency(), 0.0);
         assert_eq!(m.acceptance_rate(), 1.0);
         assert_eq!(m.p99_latency(), 0);
+    }
+
+    #[test]
+    fn flit_and_occupancy_accounting() {
+        let m = Metrics {
+            measured_cycles: 100,
+            flits_delivered: 400,
+            lane_occupancy_sum: 150,
+            lane_slot_cycles: 600,
+            ..Metrics::default()
+        };
+        assert!((m.flit_throughput(8) - 0.5).abs() < 1e-12);
+        assert!((m.mean_lane_occupancy() - 0.25).abs() < 1e-12);
     }
 
     #[test]

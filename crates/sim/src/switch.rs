@@ -1,0 +1,717 @@
+//! Pluggable switching cores over flat, preallocated arenas.
+//!
+//! [`SwitchCore`] abstracts the storage half of the engine's three-phase
+//! cycle — delivery at the last stage, switching between stages, and the
+//! admission test plus hand-off of injection — so one engine loop
+//! ([`crate::Simulator`]) drives three buffer architectures:
+//!
+//! * [`UnbufferedCore`] — Patel's unbuffered crossbar cells: a packet that
+//!   loses an out-port arbitration (or finds the downstream cell full) is
+//!   dropped;
+//! * [`FifoCore`] — per-cell FIFOs with backpressure: a packet that cannot
+//!   advance stays queued, and injection is refused when the first-stage
+//!   queue is full;
+//! * [`WormholeCore`] — multi-lane virtual-channel wormhole switching:
+//!   packets are split into flits, a worm's head flit allocates one lane per
+//!   cell it enters, body flits stream behind it at one flit per out-port
+//!   per cycle, and a blocked worm holds its lanes across stages until the
+//!   tail drains through.
+//!
+//! All three keep their state in [`RingArena`]s: one contiguous, preallocated
+//! slot vector plus per-ring `head`/`len` cursors. Compared with the previous
+//! `Vec<Vec<VecDeque<Packet>>>` store this removes two levels of pointer
+//! chasing and all steady-state allocation from the switching hot path — the
+//! whole fabric's occupancy lives in three flat arrays with predictable
+//! stride.
+
+use crate::config::BufferMode;
+use crate::fabric::Fabric;
+use crate::metrics::Metrics;
+use crate::packet::{Flit, Packet};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The storage-and-switching half of the simulation engine.
+///
+/// The engine calls the phases in a fixed order each cycle — [`deliver`],
+/// [`switch`], then for each injection attempt [`can_accept`] followed by
+/// [`inject`] — and reads [`in_flight`] / [`occupancy`] for the end-of-cycle
+/// accounting. Implementations own every packet (or flit) inside the fabric;
+/// the engine owns the clock, the RNG and the traffic sources.
+///
+/// [`deliver`]: SwitchCore::deliver
+/// [`switch`]: SwitchCore::switch
+/// [`can_accept`]: SwitchCore::can_accept
+/// [`inject`]: SwitchCore::inject
+/// [`in_flight`]: SwitchCore::in_flight
+/// [`occupancy`]: SwitchCore::occupancy
+pub trait SwitchCore: std::fmt::Debug + Send {
+    /// Phase 1 — drain everything deliverable at the last stage, recording
+    /// deliveries, misroutes and (post-warm-up) latencies.
+    fn deliver(&mut self, fabric: &Fabric, cycle: u64, warmup: u64, metrics: &mut Metrics);
+
+    /// Phase 2 — move packets (or flits) one stage forward, from the
+    /// next-to-last stage back to the first so that space freed in a stage
+    /// is visible to the stage behind it within the same cycle.
+    fn switch(&mut self, fabric: &Fabric, rng: &mut ChaCha8Rng, metrics: &mut Metrics);
+
+    /// Whether first-stage cell `cell` can accept one more packet right now.
+    fn can_accept(&self, cell: usize) -> bool;
+
+    /// Phase 3 — admit `packet` at first-stage cell `cell`. Callers must
+    /// check [`SwitchCore::can_accept`] first.
+    fn inject(&mut self, cell: usize, packet: Packet);
+
+    /// Number of packets currently inside the fabric.
+    fn in_flight(&self) -> u64;
+
+    /// `(occupied, total)` storage-unit snapshot — queued packets over queue
+    /// slots for the packet cores, active lanes over all lanes for the
+    /// wormhole core — accumulated by the engine into the occupancy metrics.
+    fn occupancy(&self) -> (u64, u64);
+}
+
+/// Builds the core matching `mode` for a `stages × cells` fabric.
+///
+/// `mode` must already be validated ([`BufferMode::validate`]); the engine
+/// guarantees this by validating the whole `SimConfig` first.
+pub(crate) fn build_core(mode: BufferMode, stages: usize, cells: usize) -> Box<dyn SwitchCore> {
+    match mode {
+        BufferMode::Unbuffered => Box::new(UnbufferedCore::new(stages, cells)),
+        BufferMode::Fifo(depth) => Box::new(FifoCore::new(stages, cells, depth)),
+        BufferMode::Wormhole {
+            lanes,
+            lane_depth,
+            flits_per_packet,
+        } => Box::new(WormholeCore::new(
+            stages,
+            cells,
+            lanes,
+            lane_depth,
+            flits_per_packet,
+        )),
+    }
+}
+
+/// A flat arena of equally sized ring buffers.
+///
+/// Ring `r` occupies the slot range `r*cap .. (r+1)*cap` of one contiguous
+/// vector; `head[r]`/`len[r]` are its cursors. Every operation is O(1) with
+/// no allocation after construction.
+#[derive(Debug, Clone)]
+pub struct RingArena<T> {
+    slots: Vec<T>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    cap: u32,
+}
+
+impl<T: Copy + Default> RingArena<T> {
+    /// An arena of `rings` empty rings, each holding up to `cap` values.
+    pub fn new(rings: usize, cap: usize) -> Self {
+        assert!(cap > 0 && cap <= u32::MAX as usize, "ring capacity {cap}");
+        RingArena {
+            slots: vec![T::default(); rings * cap],
+            head: vec![0; rings],
+            len: vec![0; rings],
+            cap: cap as u32,
+        }
+    }
+
+    /// Number of values currently in ring `r`.
+    #[inline]
+    pub fn len(&self, r: usize) -> usize {
+        self.len[r] as usize
+    }
+
+    /// Whether ring `r` holds no values.
+    #[inline]
+    pub fn is_empty(&self, r: usize) -> bool {
+        self.len[r] == 0
+    }
+
+    /// Whether ring `r` is at capacity.
+    #[inline]
+    pub fn is_full(&self, r: usize) -> bool {
+        self.len[r] == self.cap
+    }
+
+    #[inline]
+    fn slot(&self, r: usize, offset: u32) -> usize {
+        r * self.cap as usize + ((self.head[r] + offset) % self.cap) as usize
+    }
+
+    /// Appends `value` at the back of ring `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring is full — overflow would silently corrupt the
+    /// ring's FIFO contents, so it is never allowed to pass.
+    pub fn push_back(&mut self, r: usize, value: T) {
+        assert!(!self.is_full(r), "ring {r} overflow");
+        let s = self.slot(r, self.len[r]);
+        self.slots[s] = value;
+        self.len[r] += 1;
+    }
+
+    /// Prepends `value` at the front of ring `r` (used to retain blocked
+    /// packets in their original order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring is full (see [`RingArena::push_back`]).
+    pub fn push_front(&mut self, r: usize, value: T) {
+        assert!(!self.is_full(r), "ring {r} overflow");
+        self.head[r] = (self.head[r] + self.cap - 1) % self.cap;
+        let s = self.slot(r, 0);
+        self.slots[s] = value;
+        self.len[r] += 1;
+    }
+
+    /// Removes and returns the front value of ring `r`, if any.
+    pub fn pop_front(&mut self, r: usize) -> Option<T> {
+        if self.len[r] == 0 {
+            return None;
+        }
+        let s = self.slot(r, 0);
+        let v = self.slots[s];
+        self.head[r] = (self.head[r] + 1) % self.cap;
+        self.len[r] -= 1;
+        Some(v)
+    }
+
+    /// Total number of values across every ring.
+    pub fn total_len(&self) -> u64 {
+        self.len.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Total slot capacity of the arena (`rings × cap`).
+    pub fn slot_count(&self) -> u64 {
+        self.slots.len() as u64
+    }
+}
+
+/// Shared state and cycle logic of the two packet-atomic cores: one ring of
+/// packets per `(stage, cell)`, indexed into a single flat arena.
+#[derive(Debug)]
+struct PacketQueues {
+    arena: RingArena<Packet>,
+    stages: usize,
+    cells: usize,
+    capacity: usize,
+}
+
+impl PacketQueues {
+    fn new(stages: usize, cells: usize, capacity: usize) -> Self {
+        PacketQueues {
+            arena: RingArena::new(stages * cells, capacity),
+            stages,
+            cells,
+            capacity,
+        }
+    }
+
+    #[inline]
+    fn ring(&self, stage: usize, cell: usize) -> usize {
+        stage * self.cells + cell
+    }
+
+    fn deliver(&mut self, cycle: u64, warmup: u64, metrics: &mut Metrics) {
+        for cell in 0..self.cells {
+            let r = self.ring(self.stages - 1, cell);
+            while let Some(p) = self.arena.pop_front(r) {
+                metrics.delivered += 1;
+                if p.destination as usize != cell {
+                    metrics.misrouted += 1;
+                }
+                if p.injected_at >= warmup {
+                    metrics.record_latency(cycle - p.injected_at);
+                }
+            }
+        }
+    }
+
+    /// One switching pass. `unbuffered` selects the drop-on-conflict policy;
+    /// otherwise blocked packets are retained at the head of their queue in
+    /// arrival order.
+    fn switch(
+        &mut self,
+        fabric: &Fabric,
+        rng: &mut ChaCha8Rng,
+        metrics: &mut Metrics,
+        unbuffered: bool,
+    ) {
+        for s in (0..self.stages - 1).rev() {
+            for cell in 0..self.cells {
+                let r = self.ring(s, cell);
+                // A 2x2 cell forwards at most one packet per out-port per
+                // cycle; only the two packets at the head of the queue are
+                // considered this cycle (FIFO order preserved).
+                let mut port_used = [false; 2];
+                let mut candidates = [Packet::default(); 2];
+                let mut count = 0;
+                while count < 2 {
+                    match self.arena.pop_front(r) {
+                        Some(p) => {
+                            candidates[count] = p;
+                            count += 1;
+                        }
+                        None => break,
+                    }
+                }
+                // Resolve same-port contention with a fair coin.
+                if count == 2
+                    && candidates[0].port_at(s) == candidates[1].port_at(s)
+                    && rng.gen_bool(0.5)
+                {
+                    candidates.swap(0, 1);
+                }
+                let mut retained = [Packet::default(); 2];
+                let mut retained_count = 0;
+                for &packet in candidates.iter().take(count) {
+                    let port = packet.port_at(s) as usize;
+                    if port_used[port] {
+                        // Lost arbitration.
+                        if unbuffered {
+                            metrics.dropped_arbitration += 1;
+                        } else {
+                            retained[retained_count] = packet;
+                            retained_count += 1;
+                        }
+                        continue;
+                    }
+                    let next = fabric.next_cell(s, cell as u32, port as u8) as usize;
+                    let nr = self.ring(s + 1, next);
+                    if self.arena.len(nr) < self.capacity {
+                        port_used[port] = true;
+                        self.arena.push_back(nr, packet);
+                    } else if unbuffered {
+                        metrics.dropped_backpressure += 1;
+                    } else {
+                        retained[retained_count] = packet;
+                        retained_count += 1;
+                    }
+                }
+                // Put retained packets back at the front, preserving order.
+                for i in (0..retained_count).rev() {
+                    self.arena.push_front(r, retained[i]);
+                }
+                // In unbuffered mode nothing may linger in an interior queue.
+                if unbuffered && s > 0 {
+                    while self.arena.pop_front(r).is_some() {
+                        metrics.dropped_backpressure += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn can_accept(&self, cell: usize) -> bool {
+        self.arena.len(self.ring(0, cell)) < self.capacity
+    }
+
+    fn inject(&mut self, cell: usize, packet: Packet) {
+        let r = self.ring(0, cell);
+        self.arena.push_back(r, packet);
+    }
+}
+
+/// The shared packet-atomic core, parameterized at the type level by its
+/// conflict policy: `UNBUFFERED = true` drops conflict losers (Patel's
+/// model), `false` retains them with backpressure. Use through the
+/// [`UnbufferedCore`] and [`FifoCore`] aliases.
+#[derive(Debug)]
+pub struct PacketCore<const UNBUFFERED: bool> {
+    queues: PacketQueues,
+}
+
+/// Patel's unbuffered crossbar cells over a flat arena: conflict losers and
+/// backpressured packets are dropped, so the fabric never holds more than
+/// two packets per cell.
+pub type UnbufferedCore = PacketCore<true>;
+
+/// Per-cell FIFOs with backpressure over a flat arena: blocked packets stay
+/// queued, and injection is refused when the first-stage queue is full.
+pub type FifoCore = PacketCore<false>;
+
+impl PacketCore<true> {
+    /// An unbuffered core for a `stages × cells` fabric.
+    pub fn new(stages: usize, cells: usize) -> Self {
+        PacketCore {
+            queues: PacketQueues::new(stages, cells, 2),
+        }
+    }
+}
+
+impl PacketCore<false> {
+    /// A FIFO core for a `stages × cells` fabric with per-cell FIFOs holding
+    /// `2 · depth` packets (depth per input port of the 2×2 cell).
+    pub fn new(stages: usize, cells: usize, depth: usize) -> Self {
+        PacketCore {
+            queues: PacketQueues::new(stages, cells, 2 * depth.max(1)),
+        }
+    }
+}
+
+impl<const UNBUFFERED: bool> SwitchCore for PacketCore<UNBUFFERED> {
+    fn deliver(&mut self, _fabric: &Fabric, cycle: u64, warmup: u64, metrics: &mut Metrics) {
+        self.queues.deliver(cycle, warmup, metrics);
+    }
+
+    fn switch(&mut self, fabric: &Fabric, rng: &mut ChaCha8Rng, metrics: &mut Metrics) {
+        self.queues.switch(fabric, rng, metrics, UNBUFFERED);
+    }
+
+    fn can_accept(&self, cell: usize) -> bool {
+        self.queues.can_accept(cell)
+    }
+
+    fn inject(&mut self, cell: usize, packet: Packet) {
+        self.queues.inject(cell, packet);
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.queues.arena.total_len()
+    }
+
+    fn occupancy(&self) -> (u64, u64) {
+        (
+            self.queues.arena.total_len(),
+            self.queues.arena.slot_count(),
+        )
+    }
+}
+
+/// Bookkeeping of one virtual-channel lane.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneState {
+    /// Whether a worm currently owns this lane.
+    active: bool,
+    /// Header of the owning worm (routing tag, destination, injection time).
+    packet: Packet,
+    /// Flits of the worm that have not yet arrived into this lane (they are
+    /// still in the upstream lane, or in the source staging buffer for
+    /// first-stage lanes).
+    to_receive: u32,
+    /// Whether the head flit has already allocated a downstream lane.
+    route_set: bool,
+    /// Global index of the allocated downstream lane (valid iff `route_set`).
+    out_lane: u32,
+}
+
+/// Multi-lane virtual-channel wormhole core.
+///
+/// Every cell owns `lanes` lanes, each a [`RingArena`] ring of `lane_depth`
+/// flits. A packet is injected as a worm of `flits_per_packet` flits into a
+/// free first-stage lane; its head flit allocates a free lane in the
+/// downstream cell chosen by destination-tag routing, and the body streams
+/// behind it at one flit per out-port per cycle (same-port contention between
+/// lanes is arbitrated uniformly at random, and a blocked winner yields the
+/// port to the next ready lane). A lane is released only when the worm's tail
+/// flit has drained through it, so a blocked worm holds lanes across several
+/// stages — the defining wormhole behaviour. The stage-ordered channel
+/// dependencies of a MIN are acyclic, so this cannot deadlock.
+#[derive(Debug)]
+pub struct WormholeCore {
+    stages: usize,
+    cells: usize,
+    lanes_per_cell: usize,
+    flits_per_packet: u32,
+    lane: Vec<LaneState>,
+    flits: RingArena<Flit>,
+    in_flight: u64,
+    /// Reused per-port candidate lists for the switching pass, kept on the
+    /// core so steady-state switching allocates nothing.
+    want_scratch: [Vec<usize>; 2],
+}
+
+impl WormholeCore {
+    /// A core for a `stages × cells` fabric with `lanes` lanes of
+    /// `lane_depth` flits per cell and `flits_per_packet` flits per worm.
+    /// All three parameters must be nonzero (see [`BufferMode::validate`]).
+    pub fn new(
+        stages: usize,
+        cells: usize,
+        lanes: usize,
+        lane_depth: usize,
+        flits_per_packet: usize,
+    ) -> Self {
+        assert!(
+            lanes > 0 && lane_depth > 0 && flits_per_packet > 0,
+            "wormhole parameters must be nonzero"
+        );
+        let lane_count = stages * cells * lanes;
+        WormholeCore {
+            stages,
+            cells,
+            lanes_per_cell: lanes,
+            flits_per_packet: flits_per_packet as u32,
+            lane: vec![LaneState::default(); lane_count],
+            flits: RingArena::new(lane_count, lane_depth),
+            in_flight: 0,
+            want_scratch: [Vec::new(), Vec::new()],
+        }
+    }
+
+    #[inline]
+    fn lane_index(&self, stage: usize, cell: usize, lane: usize) -> usize {
+        (stage * self.cells + cell) * self.lanes_per_cell + lane
+    }
+
+    /// First free lane of `(stage, cell)`, scanning in lane order.
+    fn free_lane(&self, stage: usize, cell: usize) -> Option<usize> {
+        (0..self.lanes_per_cell)
+            .map(|l| self.lane_index(stage, cell, l))
+            .find(|&li| !self.lane[li].active)
+    }
+
+    /// Tries to move the front flit of lane `li` across the stage-`s` link
+    /// through `port`. Returns whether a flit moved.
+    fn try_forward(
+        &mut self,
+        fabric: &Fabric,
+        li: usize,
+        s: usize,
+        cell: usize,
+        port: usize,
+    ) -> bool {
+        if !self.lane[li].route_set {
+            // Head flit: allocate a free lane in the downstream cell.
+            let next_cell = fabric.next_cell(s, cell as u32, port as u8) as usize;
+            let Some(dl) = self.free_lane(s + 1, next_cell) else {
+                return false;
+            };
+            let packet = self.lane[li].packet;
+            self.lane[li].route_set = true;
+            self.lane[li].out_lane = dl as u32;
+            self.lane[dl] = LaneState {
+                active: true,
+                packet,
+                to_receive: self.flits_per_packet,
+                route_set: false,
+                out_lane: 0,
+            };
+        }
+        let dl = self.lane[li].out_lane as usize;
+        if self.flits.is_full(dl) {
+            return false;
+        }
+        let flit = self
+            .flits
+            .pop_front(li)
+            .expect("forward candidates hold a flit");
+        self.flits.push_back(dl, flit);
+        self.lane[dl].to_receive -= 1;
+        // The whole worm has drained through: release the upstream lane.
+        if self.flits.is_empty(li) && self.lane[li].to_receive == 0 {
+            self.lane[li] = LaneState::default();
+        }
+        true
+    }
+}
+
+impl SwitchCore for WormholeCore {
+    fn deliver(&mut self, _fabric: &Fabric, cycle: u64, warmup: u64, metrics: &mut Metrics) {
+        // A last-stage cell has two output terminals, so it ejects at most
+        // two flits per cycle (one per ejection link, matching the
+        // one-flit-per-link discipline of the interior stages). Lanes take
+        // the ejection links round-robin — the scan start rotates with the
+        // cycle — and a worm is delivered when its tail flit leaves.
+        for cell in 0..self.cells {
+            let mut eject_budget = 2u32;
+            let start = (cycle as usize) % self.lanes_per_cell;
+            for k in 0..self.lanes_per_cell {
+                if eject_budget == 0 {
+                    break;
+                }
+                let l = (start + k) % self.lanes_per_cell;
+                let li = self.lane_index(self.stages - 1, cell, l);
+                if !self.lane[li].active {
+                    continue;
+                }
+                if let Some(flit) = self.flits.pop_front(li) {
+                    eject_budget -= 1;
+                    metrics.flits_delivered += 1;
+                    if flit.is_tail() {
+                        let p = self.lane[li].packet;
+                        metrics.delivered += 1;
+                        if p.destination as usize != cell {
+                            metrics.misrouted += 1;
+                        }
+                        if p.injected_at >= warmup {
+                            metrics.record_latency(cycle - p.injected_at);
+                        }
+                        self.lane[li] = LaneState::default();
+                        self.in_flight -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn switch(&mut self, fabric: &Fabric, rng: &mut ChaCha8Rng, metrics: &mut Metrics) {
+        // Per cell, lanes with a flit ready to cross this stage's link,
+        // grouped by the out-port their worm's routing tag requests. The
+        // scratch buffers live on the core so steady-state switching stays
+        // allocation-free.
+        let mut want = std::mem::take(&mut self.want_scratch);
+        for s in (0..self.stages - 1).rev() {
+            for cell in 0..self.cells {
+                want[0].clear();
+                want[1].clear();
+                for l in 0..self.lanes_per_cell {
+                    let li = self.lane_index(s, cell, l);
+                    if self.lane[li].active && !self.flits.is_empty(li) {
+                        let port = self.lane[li].packet.port_at(s) as usize;
+                        want[port].push(li);
+                    }
+                }
+                for port in 0..2 {
+                    let candidates = std::mem::take(&mut want[port]);
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    // Fair arbitration: a uniformly chosen winner gets the
+                    // port; if it cannot actually move (no free downstream
+                    // lane, or downstream lane full) the port falls through
+                    // to the next ready lane in cyclic order.
+                    let winner = if candidates.len() == 1 {
+                        0
+                    } else {
+                        rng.gen_range(0..candidates.len())
+                    };
+                    let mut moved = false;
+                    for k in 0..candidates.len() {
+                        let li = candidates[(winner + k) % candidates.len()];
+                        if !moved && self.try_forward(fabric, li, s, cell, port) {
+                            moved = true;
+                        } else {
+                            metrics.flit_stalls += 1;
+                        }
+                    }
+                    want[port] = candidates;
+                }
+            }
+        }
+        self.want_scratch = want;
+        // Source streaming: each first-stage lane draws one flit per cycle
+        // from its worm's injection staging buffer, after the stage pass so
+        // space freed this cycle is usable immediately.
+        for cell in 0..self.cells {
+            for l in 0..self.lanes_per_cell {
+                let li = self.lane_index(0, cell, l);
+                let state = self.lane[li];
+                if state.active && state.to_receive > 0 && !self.flits.is_full(li) {
+                    let seq = self.flits_per_packet - state.to_receive;
+                    self.flits
+                        .push_back(li, state.packet.flit(seq, self.flits_per_packet));
+                    self.lane[li].to_receive -= 1;
+                }
+            }
+        }
+    }
+
+    fn can_accept(&self, cell: usize) -> bool {
+        self.free_lane(0, cell).is_some()
+    }
+
+    fn inject(&mut self, cell: usize, packet: Packet) {
+        let li = self
+            .free_lane(0, cell)
+            .expect("inject is only called after can_accept");
+        self.lane[li] = LaneState {
+            active: true,
+            packet,
+            // The head flit enters the lane in the injection cycle itself;
+            // the rest of the worm streams in from the source staging buffer.
+            to_receive: self.flits_per_packet - 1,
+            route_set: false,
+            out_lane: 0,
+        };
+        self.flits
+            .push_back(li, packet.flit(0, self.flits_per_packet));
+        self.in_flight += 1;
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    fn occupancy(&self) -> (u64, u64) {
+        let occupied = self.lane.iter().filter(|l| l.active).count() as u64;
+        (occupied, self.lane.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_arena_is_fifo_and_wraps() {
+        let mut a: RingArena<u32> = RingArena::new(2, 3);
+        assert!(a.is_empty(0) && a.is_empty(1));
+        a.push_back(0, 1);
+        a.push_back(0, 2);
+        a.push_back(0, 3);
+        assert!(a.is_full(0));
+        assert!(a.is_empty(1), "rings are independent");
+        assert_eq!(a.pop_front(0), Some(1));
+        a.push_back(0, 4); // wraps around the slot boundary
+        assert_eq!(a.pop_front(0), Some(2));
+        assert_eq!(a.pop_front(0), Some(3));
+        assert_eq!(a.pop_front(0), Some(4));
+        assert_eq!(a.pop_front(0), None);
+    }
+
+    #[test]
+    fn ring_arena_push_front_restores_order() {
+        let mut a: RingArena<u32> = RingArena::new(1, 4);
+        a.push_back(0, 10);
+        a.push_back(0, 11);
+        let first = a.pop_front(0).unwrap();
+        let second = a.pop_front(0).unwrap();
+        // Retain both, preserving order, as the switch phase does.
+        a.push_front(0, second);
+        a.push_front(0, first);
+        assert_eq!(a.pop_front(0), Some(10));
+        assert_eq!(a.pop_front(0), Some(11));
+        assert_eq!(a.total_len(), 0);
+        assert_eq!(a.slot_count(), 4);
+    }
+
+    #[test]
+    fn wormhole_lane_allocation_scans_in_order_and_respects_occupancy() {
+        let mut core = WormholeCore::new(3, 4, 2, 2, 3);
+        assert_eq!(core.free_lane(0, 1), Some(core.lane_index(0, 1, 0)));
+        let p = Packet::default();
+        core.inject(1, p);
+        assert_eq!(core.free_lane(0, 1), Some(core.lane_index(0, 1, 1)));
+        core.inject(1, p);
+        assert_eq!(core.free_lane(0, 1), None);
+        assert!(!core.can_accept(1));
+        assert!(core.can_accept(0));
+        assert_eq!(core.in_flight(), 2);
+        let (occupied, total) = core.occupancy();
+        assert_eq!(occupied, 2);
+        assert_eq!(total, 3 * 4 * 2);
+    }
+
+    #[test]
+    fn build_core_matches_the_mode() {
+        let modes = [
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 2,
+                flits_per_packet: 4,
+            },
+        ];
+        for mode in modes {
+            let core = build_core(mode, 3, 4);
+            assert_eq!(core.in_flight(), 0);
+            assert!(core.can_accept(0));
+        }
+    }
+}

@@ -1,10 +1,11 @@
 //! Scenario-campaign sweep over the classical catalog.
 //!
 //! Expands a declarative grid — every classical network family at n = 3..=5
-//! × three traffic patterns × three offered loads — into a work queue, runs
-//! it across worker threads, prints the per-scenario summary table, and
-//! writes the machine-readable report to `campaign.json`. The same
-//! `--seed` yields a byte-identical report at any `--threads` value.
+//! × three traffic patterns × three offered loads × three buffer
+//! architectures (unbuffered, FIFO, multi-lane wormhole) — into a work
+//! queue, runs it across worker threads, prints the per-scenario summary
+//! table, and writes the machine-readable report to `campaign.json`. The
+//! same `--seed` yields a byte-identical report at any `--threads` value.
 //!
 //! ```text
 //! cargo run --release --example campaign_sweep \
@@ -12,7 +13,7 @@
 //!     [--cycles <C>] [--out <path>]
 //! ```
 
-use baseline_equivalence::prelude::{run_campaign, CampaignConfig};
+use baseline_equivalence::prelude::{run_campaign, BufferMode, CampaignConfig};
 use min_sim::TrafficPattern;
 
 fn main() {
@@ -52,13 +53,23 @@ fn main() {
             TrafficPattern::BitReversal,
         ])
         .with_loads(vec![0.4, 0.8, 1.0])
+        .with_buffer_modes(vec![
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 4,
+                flits_per_packet: 4,
+            },
+        ])
         .with_cycles(cycles, cycles / 10);
 
     println!(
-        "== Campaign: {} catalog cells × {} traffic × {} loads = {} scenarios (seed {seed:#x}) ==\n",
+        "== Campaign: {} catalog cells × {} traffic × {} loads × {} buffer modes = {} scenarios (seed {seed:#x}) ==\n",
         config.cells.len(),
         config.traffic.len(),
         config.loads.len(),
+        config.buffer_modes.len(),
         config.scenario_count(),
     );
 

@@ -56,7 +56,7 @@ fn main() {
                 load,
                 m.normalized_throughput(terminals),
                 m.mean_latency(),
-                m.dropped
+                m.dropped()
             );
         }
     }
@@ -83,6 +83,17 @@ fn main() {
                 .with_traffic(TrafficPattern::Hotspot {
                     fraction: 0.25,
                     target: 0,
+                }),
+        ),
+        (
+            "worm(2x4x4) / uniform",
+            SimConfig::default()
+                .with_load(1.0)
+                .with_cycles(2_000, 100)
+                .with_buffer(BufferMode::Wormhole {
+                    lanes: 2,
+                    lane_depth: 4,
+                    flits_per_packet: 4,
                 }),
         ),
     ] {

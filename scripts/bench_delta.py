@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Render a median-delta table between two bench-median artifacts.
+
+Usage: bench_delta.py PREVIOUS CURRENT
+
+PREVIOUS is a directory (searched recursively for ``BENCH_*.json``) or a
+single file; CURRENT is the ``BENCH_*.json`` produced by this run. Both hold
+the vendored criterion's JSON lines::
+
+    {"name": "...", "median_ns": 123.4, "throughput_per_sec": 567.8}
+
+The script writes a GitHub-flavoured markdown table to stdout (pipe it into
+``$GITHUB_STEP_SUMMARY``) and emits a ``::warning`` workflow annotation for
+every benchmark whose median regressed by more than REGRESSION_PCT. It never
+exits nonzero and never fails the job: bench-smoke machines are shared
+runners, so deltas are advisory trend data, not gates.
+"""
+
+import json
+import pathlib
+import sys
+
+REGRESSION_PCT = 25.0
+
+
+def load_medians(path: pathlib.Path) -> dict:
+    """name -> median_ns from one file or every BENCH_*.json under a dir."""
+    files = [path]
+    if path.is_dir():
+        files = sorted(path.rglob("BENCH_*.json"))
+    medians = {}
+    for f in files:
+        try:
+            lines = f.read_text().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                medians[row["name"]] = float(row["median_ns"])
+            except (ValueError, KeyError, TypeError):
+                continue
+    return medians
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("µs", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
+        return 0
+    previous = load_medians(pathlib.Path(sys.argv[1]))
+    current = load_medians(pathlib.Path(sys.argv[2]))
+
+    print("## Bench medians vs. previous run\n")
+    if not current:
+        print("_No benchmark medians were collected by this run._")
+        return 0
+    if not previous:
+        print("_No previous-run artifact available; showing current medians only._\n")
+        print("| benchmark | median |")
+        print("|---|---:|")
+        for name in sorted(current):
+            print(f"| `{name}` | {fmt_ns(current[name])} |")
+        return 0
+
+    print("| benchmark | previous | current | delta |")
+    print("|---|---:|---:|---:|")
+    regressions = []
+    for name in sorted(current):
+        cur = current[name]
+        prev = previous.get(name)
+        if prev is None or prev <= 0.0:
+            print(f"| `{name}` | — | {fmt_ns(cur)} | new |")
+            continue
+        delta = (cur - prev) / prev * 100.0
+        marker = ""
+        if delta > REGRESSION_PCT:
+            marker = " ⚠️"
+            regressions.append((name, delta))
+        print(f"| `{name}` | {fmt_ns(prev)} | {fmt_ns(cur)} | {delta:+.1f}%{marker} |")
+    removed = sorted(set(previous) - set(current))
+    for name in removed:
+        print(f"| `{name}` | {fmt_ns(previous[name])} | — | removed |")
+
+    # Annotate (never fail) on regressions past the threshold; shared-runner
+    # noise makes these advisory.
+    for name, delta in regressions:
+        print(
+            f"::warning title=Bench regression::{name} median regressed "
+            f"{delta:+.1f}% vs. the previous run (threshold {REGRESSION_PCT:.0f}%)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

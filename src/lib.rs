@@ -17,8 +17,9 @@
 //!   random generators and counterexamples;
 //! * [`routing`] (`min-routing`) — destination-tag routing and permutation
 //!   admissibility analysis;
-//! * [`sim`] (`min-sim`) — the cycle-synchronous switch-level simulator and
-//!   the multi-threaded scenario-campaign runner.
+//! * [`sim`] (`min-sim`) — the cycle-synchronous switch-level simulator
+//!   (arena-backed unbuffered / FIFO / wormhole switching cores) and the
+//!   multi-threaded scenario-campaign runner.
 //!
 //! ## Quick start
 //!
@@ -57,7 +58,10 @@ pub mod prelude {
     pub use min_graph::MiDigraph;
     pub use min_labels::IndexPermutation;
     pub use min_networks::{catalog_grid, ClassicalNetwork};
-    pub use min_sim::{run_campaign, CampaignConfig, CampaignReport};
+    pub use min_sim::{
+        run_campaign, simulate, BufferMode, CampaignConfig, CampaignReport, SimConfig, Simulator,
+        SwitchCore, TrafficPattern,
+    };
 }
 
 #[cfg(test)]

@@ -1,12 +1,21 @@
 //! Integration tests for the scenario-campaign runner: a tiny grid over the
-//! classical catalog, and the headline determinism property — the same
-//! campaign seed produces an identical (byte-for-byte) report at one worker
-//! thread and at many.
+//! classical catalog, the buffer-mode axis (unbuffered / FIFO / wormhole),
+//! and the headline determinism property — the same campaign seed produces
+//! an identical (byte-for-byte) report at one worker thread and at many,
+//! for every buffer mode.
 
 use baseline_equivalence::prelude::*;
 use min_sim::campaign::scenario_seed;
-use min_sim::{BufferMode, TrafficPattern};
+use min_sim::TrafficPattern;
 use proptest::prelude::*;
+
+fn wormhole() -> BufferMode {
+    BufferMode::Wormhole {
+        lanes: 2,
+        lane_depth: 2,
+        flits_per_packet: 3,
+    }
+}
 
 fn tiny_campaign(seed: u64) -> CampaignConfig {
     CampaignConfig::over_catalog(3..=3)
@@ -25,7 +34,7 @@ fn tiny_campaign(seed: u64) -> CampaignConfig {
 #[test]
 fn tiny_grid_over_the_classical_catalog_completes() {
     let report = run_campaign(&tiny_campaign(0xC0FFEE), 3).expect("campaign runs");
-    // 6 families × 1 stage count × 2 traffic × 2 loads × 1 replication.
+    // 6 families × 1 stage count × 2 traffic × 2 loads × 1 mode × 1 rep.
     assert_eq!(report.scenario_count, 24);
     assert_eq!(report.scenarios.len(), 24);
     for (i, r) in report.scenarios.iter().enumerate() {
@@ -35,6 +44,7 @@ fn tiny_grid_over_the_classical_catalog_completes() {
         // Every scenario made progress and conserved its packets.
         assert!(r.delivered > 0, "scenario {i} delivered nothing");
         assert_eq!(r.injected, r.delivered + r.dropped + r.in_flight);
+        assert_eq!(r.dropped, r.dropped_arbitration + r.dropped_backpressure);
         assert!(r.p99_latency <= r.max_latency);
     }
     // All six families appear.
@@ -50,21 +60,71 @@ fn tiny_grid_over_the_classical_catalog_completes() {
 }
 
 #[test]
+fn campaigns_sweep_the_buffer_mode_axis() {
+    let modes = vec![BufferMode::Unbuffered, BufferMode::Fifo(8), wormhole()];
+    let report = run_campaign(
+        &tiny_campaign(9)
+            .with_loads(vec![1.0])
+            .with_buffer_modes(modes.clone()),
+        2,
+    )
+    .unwrap();
+    assert_eq!(report.buffer_modes, modes);
+    // 6 families × 2 traffic × 1 load × 3 modes.
+    assert_eq!(report.scenario_count, 36);
+    // Per-mode behaviour shows through the shared grid: the unbuffered
+    // scenarios drop (arbitration losses), the buffered and wormhole ones
+    // never do.
+    let dropped_by = |mode: BufferMode| -> u64 {
+        report
+            .scenarios
+            .iter()
+            .filter(|r| r.scenario.buffer_mode == mode)
+            .map(|r| r.dropped)
+            .sum()
+    };
+    assert!(dropped_by(BufferMode::Unbuffered) > 0);
+    assert_eq!(dropped_by(BufferMode::Fifo(8)), 0);
+    assert_eq!(dropped_by(wormhole()), 0);
+    // Only the wormhole scenarios move flits.
+    for r in &report.scenarios {
+        match r.scenario.buffer_mode {
+            BufferMode::Wormhole { .. } => assert!(r.flits_delivered > 0, "{r:?}"),
+            _ => assert_eq!(r.flits_delivered, 0, "{r:?}"),
+        }
+    }
+}
+
+#[test]
 fn campaigns_respect_the_buffer_mode() {
     let unbuffered = run_campaign(&tiny_campaign(9), 2).unwrap();
     let buffered = run_campaign(&tiny_campaign(9).with_buffer(BufferMode::Fifo(8)), 2).unwrap();
     assert_eq!(buffered.aggregate.total_dropped, 0);
     assert!(unbuffered.aggregate.total_dropped > 0);
+    assert_eq!(
+        unbuffered.aggregate.total_dropped,
+        unbuffered.aggregate.total_dropped_arbitration
+            + unbuffered.aggregate.total_dropped_backpressure
+    );
+    // The per-cause split is visible in the serialized report.
+    let json = unbuffered.to_json();
+    assert!(json.contains("\"dropped_arbitration\""));
+    assert!(json.contains("\"dropped_backpressure\""));
+    assert!(json.contains("\"total_dropped_arbitration\""));
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// The same campaign seed yields an identical report JSON at 1 thread
-    /// and at N threads, for arbitrary seeds and thread counts.
+    /// and at N threads, for arbitrary seeds and thread counts, with the
+    /// full buffer-mode axis (including wormhole) on the grid.
     #[test]
     fn same_seed_same_report_at_any_thread_count(seed in any::<u64>(), threads in 2usize..9) {
-        let cfg = tiny_campaign(seed).with_loads(vec![0.7]).with_cycles(40, 0);
+        let cfg = tiny_campaign(seed)
+            .with_loads(vec![0.7])
+            .with_buffer_modes(vec![BufferMode::Unbuffered, BufferMode::Fifo(2), wormhole()])
+            .with_cycles(40, 0);
         let sequential = run_campaign(&cfg, 1).expect("sequential run");
         let parallel = run_campaign(&cfg, threads).expect("parallel run");
         prop_assert_eq!(&sequential, &parallel);
