@@ -57,11 +57,19 @@ impl AffineForm {
 ///
 /// The certificate is validated against the full tables before being
 /// returned, so `Some(form)` always satisfies
-/// `form.to_connection() == *conn`.
+/// `form.to_connection() == *conn`. Validation is `O(N)`: the candidate
+/// affine extension is materialized by the packed Gray-code evaluator
+/// ([`AffineMap::table`]) and compared to the stored table slice-to-slice,
+/// instead of re-applying the map digit by digit at every point.
 pub fn affine_form(conn: &Connection) -> Option<AffineForm> {
     let width = conn.width();
     let f_aff = AffineMap::interpolate(width, width, |x| conn.f(x));
-    if !f_aff.agrees_with(|x| conn.f(x)) {
+    let candidate = f_aff.table();
+    if candidate
+        .iter()
+        .zip(conn.f_table())
+        .any(|(&a, &b)| a != u64::from(b))
+    {
         return None;
     }
     let c = conn.constant_difference()?;

@@ -85,6 +85,28 @@ impl BaselineIsomorphism {
     pub fn verify(&self, g: &MiDigraph) -> bool {
         g.stages() == self.stages && verify_stage_mapping(g, &self.baseline(), &self.mapping)
     }
+
+    /// FNV-1a fingerprint of the full relabelling, stage by stage.
+    ///
+    /// Classification reports record this per equivalent network: two runs
+    /// that produce the same checksum produced the same certificate, so the
+    /// JSON carries a compact, diffable witness instead of the
+    /// `O(n·2^{n-1})` mapping itself.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mix(self.stages as u64);
+        for (s, stage_map) in self.mapping.iter().enumerate() {
+            mix(s as u64);
+            for &img in stage_map {
+                mix(u64::from(img));
+            }
+        }
+        h
+    }
 }
 
 /// Computes the certified constructive isomorphism of `g` onto the Baseline

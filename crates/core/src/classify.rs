@@ -1,0 +1,631 @@
+//! Equivalence-classification campaigns: deciding Baseline equivalence for
+//! whole families of networks in one deterministic, parallel sweep.
+//!
+//! The paper's contribution is a *decision procedure* — is this network
+//! Baseline-equivalent? — and the rest of the crate answers it one network
+//! at a time. This module scales the question to a **campaign**: a list of
+//! [`Subject`]s (catalog cells, random samples, anything that builds a
+//! [`ConnectionNetwork`]) is fanned out across scoped worker threads, every
+//! network is decided with an explicit per-network witness, and the results
+//! are partitioned into equivalence classes:
+//!
+//! * all Baseline-equivalent networks of one stage count form **one** class
+//!   (they are mutually equivalent by composing their certificates —
+//!   Theorem 3 / the §2 characterization), and the campaign *re-verifies*
+//!   that claim by composing every member's certificate with the class
+//!   representative's and checking the mapping arc by arc;
+//! * networks that are **not** Baseline-equivalent are grouped by their
+//!   violated condition (the specific [`crate::EquivalenceError`]
+//!   diagnosis). The
+//!   paper does not characterize the isomorphism classes *outside* the
+//!   Baseline class, so these buckets are diagnostic — two members share the
+//!   reason they fail, not necessarily an isomorphism.
+//!
+//! The per-network [`Witness`] is either the independent-connection
+//! certificate (per-stage constant differences and linear-part ranks of the
+//! packed affine forms — the §3 objects), the structural certificate alone
+//! (for equivalent networks with some non-independent stage), or the
+//! violated condition.
+//!
+//! ## Determinism
+//!
+//! The design mirrors `min-sim`'s scenario campaigns: subjects carry their
+//! position in the canonical grid expansion, random subjects derive their
+//! ChaCha8 seed from `(campaign_seed, index)` by the SplitMix64 finalizer
+//! ([`derive_seed`]), workers pull indices from an atomic cursor, and
+//! results are slotted by index — never by completion order. Class
+//! identifiers are assigned in order of first appearance. The
+//! [`ClassificationReport`] and its JSON are therefore **byte-identical at
+//! any worker-thread count**, which is what lets CI diff the partition
+//! across runs.
+//!
+//! ```
+//! use min_core::classify::{classify_subjects, Subject};
+//! use min_core::{baseline_digraph, ConnectionNetwork};
+//!
+//! let subjects: Vec<Subject> = (0..2)
+//!     .map(|rep| {
+//!         Subject::new("baseline", 3, rep, 0, || {
+//!             ConnectionNetwork::from_digraph(&baseline_digraph(3)).unwrap()
+//!         })
+//!     })
+//!     .collect();
+//! let one = classify_subjects(&subjects, 1).unwrap();
+//! let many = classify_subjects(&subjects, 4).unwrap();
+//! assert_eq!(one.to_json(), many.to_json());
+//! assert_eq!(one.class_count, 1);
+//! assert!(one.classes[0].cross_verified);
+//! ```
+
+use crate::affine_form::affine_form;
+use crate::baseline_iso::{baseline_isomorphism, BaselineIsomorphism};
+use crate::equivalence::compose_baseline_certificates;
+use crate::network::ConnectionNetwork;
+use min_graph::iso::verify_stage_mapping;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Derives a per-subject seed from the campaign seed and the subject index.
+///
+/// Same SplitMix64 finalizer as the simulation campaigns
+/// (`min_sim::campaign::scenario_seed`): cheap, stateless, and
+/// collision-free in practice, so two random subjects never share a ChaCha8
+/// stream.
+pub fn derive_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One network to classify: descriptive metadata plus a deterministic
+/// builder.
+///
+/// The builder is invoked lazily inside a worker thread (and again during
+/// class cross-verification), so a campaign over the full catalog at
+/// `n = 2..=16` never holds every network in memory at once.
+pub struct Subject {
+    family: String,
+    stages: usize,
+    replication: u32,
+    seed: u64,
+    builder: Box<dyn Fn() -> ConnectionNetwork + Send + Sync>,
+}
+
+impl Subject {
+    /// Creates a subject. The builder must be deterministic: it is called
+    /// more than once and every call must produce the same network.
+    pub fn new<F>(
+        family: impl Into<String>,
+        stages: usize,
+        replication: u32,
+        seed: u64,
+        builder: F,
+    ) -> Self
+    where
+        F: Fn() -> ConnectionNetwork + Send + Sync + 'static,
+    {
+        Subject {
+            family: family.into(),
+            stages,
+            replication,
+            seed,
+            builder: Box::new(builder),
+        }
+    }
+
+    /// Family label (e.g. `"Omega"` or `"random-pipid"`).
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// Stage count `n` (the network has `N = 2^n` terminals).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Replication number within the family × stage-count grid point.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// The derived seed (meaningful for random subjects; echoed for all).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the network.
+    pub fn build(&self) -> ConnectionNetwork {
+        (self.builder)()
+    }
+
+    /// Canonical display name, also used by the CI partition differ.
+    pub fn name(&self) -> String {
+        format!("{}/n={}#{}", self.family, self.stages, self.replication)
+    }
+}
+
+impl std::fmt::Debug for Subject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subject")
+            .field("family", &self.family)
+            .field("stages", &self.stages)
+            .field("replication", &self.replication)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The per-network evidence recorded by a classification campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Witness {
+    /// Theorem 3 seen end to end: every stage is an independent connection.
+    /// `differences[i]` is the constant `c_i = f_i ⊕ g_i` and `ranks[i]` the
+    /// rank of the shared linear part of stage `i` (packed affine forms);
+    /// `mapping_checksum` fingerprints the verified Baseline certificate.
+    IndependentConnections {
+        /// Per-stage constant difference `c = f ⊕ g`.
+        differences: Vec<u64>,
+        /// Per-stage rank of the shared GF(2) linear part.
+        ranks: Vec<usize>,
+        /// [`BaselineIsomorphism::checksum`] of the verified certificate.
+        mapping_checksum: u64,
+    },
+    /// The network is Baseline-equivalent by the §2 characterization, but
+    /// some stage is not an independent connection, so only the structural
+    /// certificate is available.
+    Characterization {
+        /// [`BaselineIsomorphism::checksum`] of the verified certificate.
+        mapping_checksum: u64,
+    },
+    /// The network is not Baseline-equivalent; the rendered
+    /// [`crate::EquivalenceError`] names the violated condition.
+    Violation {
+        /// Human-readable diagnosis (also the class key).
+        condition: String,
+    },
+}
+
+impl Witness {
+    /// `true` for the two equivalent variants.
+    pub fn is_equivalent(&self) -> bool {
+        !matches!(self, Witness::Violation { .. })
+    }
+}
+
+/// The outcome for one subject, in canonical grid order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectResult {
+    /// Position in the canonical subject list.
+    pub index: usize,
+    /// Family label.
+    pub family: String,
+    /// Stage count `n`.
+    pub stages: usize,
+    /// Replication number within the grid point.
+    pub replication: u32,
+    /// Derived seed the subject was built with.
+    pub seed: u64,
+    /// Whether the network is Baseline-equivalent.
+    pub equivalent: bool,
+    /// Identifier of the equivalence class the subject landed in.
+    pub class: usize,
+    /// The per-network evidence.
+    pub witness: Witness,
+}
+
+impl SubjectResult {
+    /// Canonical display name (same scheme as [`Subject::name`]).
+    pub fn name(&self) -> String {
+        format!("{}/n={}#{}", self.family, self.stages, self.replication)
+    }
+}
+
+/// One cell of the partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceClass {
+    /// Class identifier, assigned in order of first appearance.
+    pub id: usize,
+    /// Stage count shared by every member.
+    pub stages: usize,
+    /// `true` for the Baseline-equivalent class of this stage count.
+    pub equivalent: bool,
+    /// Canonical key: `"n=<stages> baseline-equivalent"` or
+    /// `"n=<stages> <violated condition>"`.
+    pub key: String,
+    /// Member subject indices, ascending.
+    pub members: Vec<usize>,
+    /// For an equivalent class: every member's certificate was composed
+    /// with the representative's (first member) and the resulting mapping
+    /// verified arc by arc. Vacuously `true` for diagnostic classes.
+    pub cross_verified: bool,
+}
+
+/// The complete, canonically ordered result of a classification campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Number of subjects classified.
+    pub subject_count: usize,
+    /// Number of equivalence classes found.
+    pub class_count: usize,
+    /// Number of Baseline-equivalent subjects.
+    pub equivalent_subjects: usize,
+    /// Per-subject outcomes, indexed by [`SubjectResult::index`].
+    pub subjects: Vec<SubjectResult>,
+    /// The partition, class ids ascending.
+    pub classes: Vec<EquivalenceClass>,
+}
+
+impl ClassificationReport {
+    /// Serializes the report to JSON. The rendering is deterministic (field
+    /// order is declaration order, no floats), so equal reports yield
+    /// byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("classification reports are JSON-serializable")
+    }
+
+    /// Parses a report back from its [`ClassificationReport::to_json`]
+    /// rendering.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// A plain-text summary, one row per class.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<5} {:>3} {:>7} {:>9} {:<52} members",
+            "class", "n", "size", "verified", "key"
+        );
+        for class in &self.classes {
+            let names: Vec<String> = class
+                .members
+                .iter()
+                .take(4)
+                .map(|&i| self.subjects[i].name())
+                .collect();
+            let suffix = if class.members.len() > 4 { ", …" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:<5} {:>3} {:>7} {:>9} {:<52} {}{}",
+                class.id,
+                class.stages,
+                class.members.len(),
+                if class.equivalent {
+                    if class.cross_verified {
+                        "yes"
+                    } else {
+                        "FAILED"
+                    }
+                } else {
+                    "n/a"
+                },
+                class.key,
+                names.join(", "),
+                suffix
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} subjects · {} equivalent · {} classes",
+            self.subject_count, self.equivalent_subjects, self.class_count
+        );
+        out
+    }
+}
+
+/// Why a classification campaign could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifyError {
+    /// The subject list is empty.
+    NoSubjects,
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::NoSubjects => write!(f, "a classification campaign needs subjects"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+/// What a worker produces for one subject.
+struct Outcome {
+    equivalent: bool,
+    key: String,
+    witness: Witness,
+    certificate: Option<BaselineIsomorphism>,
+}
+
+/// Decides one subject: packed affine forms for every stage, then the
+/// certified constructive Baseline isomorphism.
+fn classify_one(subject: &Subject) -> Outcome {
+    let net = subject.build();
+    let forms: Option<Vec<_>> = net.connections().iter().map(affine_form).collect();
+    let digraph = net.to_digraph();
+    match baseline_isomorphism(&digraph) {
+        Ok(certificate) => {
+            let mapping_checksum = certificate.checksum();
+            let witness = match forms {
+                Some(forms) => Witness::IndependentConnections {
+                    differences: forms.iter().map(|f| f.difference).collect(),
+                    ranks: forms.iter().map(|f| f.rank()).collect(),
+                    mapping_checksum,
+                },
+                None => Witness::Characterization { mapping_checksum },
+            };
+            Outcome {
+                equivalent: true,
+                key: format!("n={} baseline-equivalent", subject.stages),
+                witness,
+                certificate: Some(certificate),
+            }
+        }
+        Err(error) => Outcome {
+            equivalent: false,
+            key: format!("n={} {}", subject.stages, error),
+            witness: Witness::Violation {
+                condition: error.to_string(),
+            },
+            certificate: None,
+        },
+    }
+}
+
+/// Runs the campaign across `threads` scoped worker threads (`0` = one
+/// worker per available core).
+///
+/// Workers pull subject indices from a shared atomic cursor and outcomes
+/// land in index order, so the report is independent of the thread count;
+/// the class-assembly and cross-verification passes are sequential.
+pub fn classify_subjects(
+    subjects: &[Subject],
+    threads: usize,
+) -> Result<ClassificationReport, ClassifyError> {
+    if subjects.is_empty() {
+        return Err(ClassifyError::NoSubjects);
+    }
+    let workers = effective_threads(threads, subjects.len());
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Vec<(usize, Outcome)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(subject) = subjects.get(i) else {
+                            break;
+                        };
+                        local.push((i, classify_one(subject)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("classification worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<Outcome>> = Vec::with_capacity(subjects.len());
+    slots.resize_with(subjects.len(), || None);
+    for (i, outcome) in collected {
+        slots[i] = Some(outcome);
+    }
+    let outcomes: Vec<Outcome> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every subject index was claimed exactly once"))
+        .collect();
+
+    // Assemble classes in order of first appearance of their key.
+    let mut classes: Vec<EquivalenceClass> = Vec::new();
+    let mut results: Vec<SubjectResult> = Vec::with_capacity(subjects.len());
+    for (index, (subject, outcome)) in subjects.iter().zip(&outcomes).enumerate() {
+        let class = match classes.iter().position(|c| c.key == outcome.key) {
+            Some(id) => {
+                classes[id].members.push(index);
+                id
+            }
+            None => {
+                let id = classes.len();
+                classes.push(EquivalenceClass {
+                    id,
+                    stages: subject.stages,
+                    equivalent: outcome.equivalent,
+                    key: outcome.key.clone(),
+                    members: vec![index],
+                    cross_verified: true,
+                });
+                id
+            }
+        };
+        results.push(SubjectResult {
+            index,
+            family: subject.family.clone(),
+            stages: subject.stages,
+            replication: subject.replication,
+            seed: subject.seed,
+            equivalent: outcome.equivalent,
+            class,
+            witness: outcome.witness.clone(),
+        });
+    }
+
+    // Cross-verify every equivalent class: compose each member's
+    // certificate with the representative's and check the mapping.
+    for class in &mut classes {
+        if !class.equivalent || class.members.len() < 2 {
+            continue;
+        }
+        let rep = class.members[0];
+        let rep_digraph = subjects[rep].build().to_digraph();
+        let rep_cert = outcomes[rep]
+            .certificate
+            .as_ref()
+            .expect("equivalent subjects carry a certificate");
+        for &member in &class.members[1..] {
+            let member_cert = outcomes[member]
+                .certificate
+                .as_ref()
+                .expect("equivalent subjects carry a certificate");
+            let verified = compose_baseline_certificates(member_cert, rep_cert)
+                .map(|mapping| {
+                    let member_digraph = subjects[member].build().to_digraph();
+                    verify_stage_mapping(&member_digraph, &rep_digraph, &mapping)
+                })
+                .unwrap_or(false);
+            if !verified {
+                class.cross_verified = false;
+            }
+        }
+    }
+
+    let equivalent_subjects = results.iter().filter(|r| r.equivalent).count();
+    Ok(ClassificationReport {
+        subject_count: results.len(),
+        class_count: classes.len(),
+        equivalent_subjects,
+        subjects: results,
+        classes,
+    })
+}
+
+/// Resolves the worker count: `0` means one per available core, and there
+/// is never a point in more workers than subjects.
+fn effective_threads(requested: usize, subjects: usize) -> usize {
+    let requested = if requested == 0 {
+        thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    requested.clamp(1, subjects.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_iso::baseline_digraph;
+    use crate::connection::Connection;
+    use min_labels::{IndexPermutation, Permutation};
+
+    fn omega_subject(n: usize, replication: u32) -> Subject {
+        Subject::new("Omega", n, replication, 0, move || {
+            let sigma = IndexPermutation::perfect_shuffle(n);
+            let conn = Connection::from_link_permutation(&Permutation::from_index_perm(&sigma));
+            ConnectionNetwork::new(n - 1, vec![conn; n - 1])
+        })
+    }
+
+    fn baseline_subject(n: usize) -> Subject {
+        Subject::new("Baseline", n, 0, 0, move || {
+            ConnectionNetwork::from_digraph(&baseline_digraph(n)).unwrap()
+        })
+    }
+
+    fn degenerate_subject(n: usize) -> Subject {
+        Subject::new("degenerate", n, 0, 0, move || {
+            let identity = Connection::from_fn(n - 1, |x| x, |x| x);
+            ConnectionNetwork::new(n - 1, vec![identity; n - 1])
+        })
+    }
+
+    #[test]
+    fn equivalent_networks_of_one_size_share_one_verified_class() {
+        let subjects = vec![
+            baseline_subject(3),
+            omega_subject(3, 0),
+            baseline_subject(4),
+            omega_subject(4, 0),
+        ];
+        let report = classify_subjects(&subjects, 2).unwrap();
+        assert_eq!(report.subject_count, 4);
+        assert_eq!(report.class_count, 2);
+        assert_eq!(report.equivalent_subjects, 4);
+        assert_eq!(report.classes[0].members, vec![0, 1]);
+        assert_eq!(report.classes[1].members, vec![2, 3]);
+        for class in &report.classes {
+            assert!(class.equivalent);
+            assert!(class.cross_verified);
+        }
+        // Every stage of Omega and Baseline is independent: the witnesses
+        // must be the Theorem 3 certificates.
+        for r in &report.subjects {
+            match &r.witness {
+                Witness::IndependentConnections {
+                    differences, ranks, ..
+                } => {
+                    assert_eq!(differences.len(), r.stages - 1);
+                    assert_eq!(ranks.len(), r.stages - 1);
+                }
+                other => panic!("expected an independence witness, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_bucketed_by_diagnosis() {
+        let subjects = vec![
+            omega_subject(3, 0),
+            degenerate_subject(3),
+            degenerate_subject(3),
+        ];
+        let report = classify_subjects(&subjects, 1).unwrap();
+        assert_eq!(report.class_count, 2);
+        assert!(report.subjects[0].equivalent);
+        assert!(!report.subjects[1].equivalent);
+        assert_eq!(report.subjects[1].class, report.subjects[2].class);
+        let diagnostic = &report.classes[1];
+        assert!(!diagnostic.equivalent);
+        assert!(diagnostic.cross_verified, "vacuously true");
+        match &report.subjects[1].witness {
+            Witness::Violation { condition } => {
+                assert!(diagnostic.key.contains(condition.as_str()))
+            }
+            other => panic!("expected a violation witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_are_thread_count_independent_and_round_trip() {
+        let subjects = vec![
+            baseline_subject(3),
+            omega_subject(3, 0),
+            degenerate_subject(3),
+            baseline_subject(4),
+            omega_subject(4, 1),
+        ];
+        let one = classify_subjects(&subjects, 1).unwrap();
+        let many = classify_subjects(&subjects, 5).unwrap();
+        let auto = classify_subjects(&subjects, 0).unwrap();
+        assert_eq!(one, many);
+        assert_eq!(one.to_json(), many.to_json());
+        assert_eq!(one.to_json(), auto.to_json());
+        let back = ClassificationReport::from_json(&one.to_json()).unwrap();
+        assert_eq!(back, one);
+    }
+
+    #[test]
+    fn empty_campaigns_are_rejected() {
+        assert_eq!(
+            classify_subjects(&[], 1).unwrap_err(),
+            ClassifyError::NoSubjects
+        );
+        assert!(!ClassifyError::NoSubjects.to_string().is_empty());
+    }
+
+    #[test]
+    fn derive_seed_mixes_both_inputs() {
+        assert_ne!(derive_seed(0, 0), derive_seed(0, 1));
+        assert_ne!(derive_seed(0, 0), derive_seed(1, 0));
+        assert_ne!(derive_seed(7, 3), derive_seed(3, 7));
+    }
+}

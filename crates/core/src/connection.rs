@@ -81,6 +81,10 @@ impl Connection {
     /// Builds the connection `(f, f ⊕ difference)` from an affine map — by
     /// the affine characterization (see [`crate::affine_form()`]) every such
     /// connection is independent.
+    ///
+    /// The table is produced by the packed Gray-code evaluator
+    /// ([`AffineMap::table`]): one XOR per cell instead of one per label
+    /// digit.
     pub fn from_affine(f: &AffineMap, difference: Label) -> Self {
         assert_eq!(
             f.width_in(),
@@ -89,10 +93,11 @@ impl Connection {
         );
         let width = f.width_in();
         let d = difference & mask(width);
+        let table = f.table();
         Connection {
             width,
-            f: all_labels(width).map(|x| f.apply(x) as u32).collect(),
-            g: all_labels(width).map(|x| (f.apply(x) ^ d) as u32).collect(),
+            f: table.iter().map(|&y| y as u32).collect(),
+            g: table.iter().map(|&y| (y ^ d) as u32).collect(),
         }
     }
 

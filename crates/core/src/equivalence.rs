@@ -5,10 +5,30 @@
 //! network-to-network node bijection — the analogue of the one-to-one
 //! mappings Wu & Feng exhibited by hand for the six classical networks.
 
-use crate::baseline_iso::baseline_isomorphism;
+use crate::baseline_iso::{baseline_isomorphism, BaselineIsomorphism};
 use crate::error::EquivalenceError;
 use min_graph::iso::{compose_mappings, invert_mapping, verify_stage_mapping, StageMapping};
 use min_graph::MiDigraph;
+
+/// Composes two Baseline certificates into the explicit `g → h` mapping
+/// without recomputing either isomorphism: `g --cg--> Baseline --ch⁻¹--> h`.
+///
+/// Classification campaigns hold one certificate per network and call this
+/// for every (member, representative) pair of an equivalence class, so the
+/// per-pair cost is two mapping passes rather than two fresh sweeps. The
+/// returned mapping is *not* verified here — callers that need an
+/// unconditional certificate pass it through
+/// [`min_graph::iso::verify_stage_mapping`] (as [`equivalence_mapping`]
+/// does).
+pub fn compose_baseline_certificates(
+    cg: &BaselineIsomorphism,
+    ch: &BaselineIsomorphism,
+) -> Result<StageMapping, EquivalenceError> {
+    if cg.stages != ch.stages {
+        return Err(EquivalenceError::ShapeMismatch);
+    }
+    Ok(compose_mappings(&cg.mapping, &invert_mapping(&ch.mapping)))
+}
 
 /// Computes an explicit stage-respecting isomorphism `g → h` by composing
 /// the Baseline certificates of both digraphs.
@@ -22,8 +42,7 @@ pub fn equivalence_mapping(g: &MiDigraph, h: &MiDigraph) -> Result<StageMapping,
     }
     let cg = baseline_isomorphism(g)?;
     let ch = baseline_isomorphism(h)?;
-    // g --cg--> Baseline --ch⁻¹--> h
-    let mapping = compose_mappings(&cg.mapping, &invert_mapping(&ch.mapping));
+    let mapping = compose_baseline_certificates(&cg, &ch)?;
     if !verify_stage_mapping(g, h, &mapping) {
         return Err(EquivalenceError::VerificationFailed);
     }

@@ -31,7 +31,12 @@
 //!   left-recursive Baseline network, and the produced mapping is verified
 //!   arc by arc before being returned. Composition of two certificates gives
 //!   the explicit equivalence mapping between any two equivalent networks
-//!   ([`equivalence`]).
+//!   ([`equivalence`]);
+//! * an **equivalence-classification campaign engine** ([`classify`]): whole
+//!   families of networks — the classical catalog, random samples — are
+//!   decided in one deterministic, parallel sweep, partitioned into
+//!   equivalence classes with a per-network witness, and the resulting
+//!   [`ClassificationReport`] is byte-identical at any worker-thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +44,7 @@
 pub mod affine_form;
 pub mod baseline_iso;
 pub mod buddy;
+pub mod classify;
 pub mod connection;
 pub mod delta;
 pub mod equivalence;
@@ -52,9 +58,13 @@ pub mod reverse;
 pub use affine_form::{affine_form, AffineForm};
 pub use baseline_iso::{baseline_digraph, baseline_isomorphism, BaselineIsomorphism};
 pub use buddy::{buddy_property, reverse_buddy_property, BuddyReport};
+pub use classify::{
+    classify_subjects, ClassificationReport, ClassifyError, EquivalenceClass, Subject,
+    SubjectResult, Witness,
+};
 pub use connection::Connection;
 pub use delta::{is_bidelta, is_delta, DeltaReport};
-pub use equivalence::{are_equivalent, equivalence_mapping};
+pub use equivalence::{are_equivalent, compose_baseline_certificates, equivalence_mapping};
 pub use error::{EquivalenceError, ReverseError};
 pub use independence::{
     independence_certificate, is_independent, is_independent_naive, IndependenceCertificate,

@@ -24,7 +24,7 @@
 //! to the Baseline network.
 
 use crate::connection::Connection;
-use min_labels::{IndexPermutation, Permutation};
+use min_labels::{bit, AffineMap, IndexPermutation, Label, LinearMap};
 use serde::{Deserialize, Serialize};
 
 /// A PIPID stage: the digit permutation, the induced connection, and the
@@ -52,13 +52,43 @@ impl PipidStage {
     }
 }
 
+/// The child cell of `x` on out-port `digit` under the PIPID of `theta`,
+/// evaluated positionally from the paper's formula (no permutation table).
+fn pipid_child(theta: &IndexPermutation, x: Label, digit: u64) -> Label {
+    let n = theta.width();
+    let mut z = 0u64;
+    for i in 0..n {
+        let src = theta.theta(i);
+        let d = if src == 0 { digit } else { bit(x, src - 1) };
+        z |= d << i;
+    }
+    // The child cell keeps the n-1 high digits of the permuted link label.
+    z >> 1
+}
+
 /// Builds the connection induced by the PIPID permutation of `θ` on the
 /// link labels (paper, §4).
+///
+/// A PIPID routes every output digit from a fixed input digit (or from the
+/// out-port digit), so `f` is **linear** over GF(2) and
+/// `g = f ⊕ 2^{k-1}` for `k = θ⁻¹(0) ≥ 1` (`g = f` in the degenerate
+/// `k = 0` case of Fig. 5). The connection is therefore assembled directly
+/// from its packed affine certificate — `n-1` basis evaluations plus one
+/// Gray-code table pass — instead of materializing and translating the
+/// `2^n`-entry link permutation.
 pub fn connection_from_pipid(theta: &IndexPermutation) -> PipidStage {
     assert!(theta.width() >= 1, "link labels need at least one digit");
-    let perm = Permutation::from_index_perm(theta);
-    let connection = Connection::from_link_permutation(&perm);
+    let width = theta.width() - 1;
     let critical_digit = theta.theta_inv(0);
+    let columns: Vec<Label> = (0..width).map(|j| pipid_child(theta, 1 << j, 0)).collect();
+    let linear = LinearMap::from_columns(width, width, columns);
+    debug_assert_eq!(pipid_child(theta, 0, 0), 0, "a PIPID fixes the zero label");
+    let difference = if critical_digit == 0 {
+        0
+    } else {
+        1u64 << (critical_digit - 1)
+    };
+    let connection = Connection::from_affine(&AffineMap::new(linear, 0), difference);
     PipidStage {
         theta: Some(theta.clone()),
         critical_digit,
@@ -112,6 +142,23 @@ mod tests {
             for x in 0..16u64 {
                 assert_eq!(stage.connection.f(x), paper_formula(&theta, x, 0));
                 assert_eq!(stage.connection.g(x), paper_formula(&theta, x, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn affine_construction_matches_the_link_permutation_derivation() {
+        // The packed construction (affine certificate + Gray-code table)
+        // must reproduce the historical derivation through the explicit
+        // 2^n-entry link permutation, bit for bit.
+        let mut rng = ChaCha8Rng::seed_from_u64(127);
+        for n in 1..=6 {
+            for _ in 0..10 {
+                let theta = min_labels::IndexPermutation::random(n, &mut rng);
+                let stage = connection_from_pipid(&theta);
+                let perm = min_labels::Permutation::from_index_perm(&theta);
+                let reference = Connection::from_link_permutation(&perm);
+                assert_eq!(stage.connection, reference, "theta = {theta:?}");
             }
         }
     }

@@ -71,10 +71,23 @@ impl AffineMap {
         self.linear.apply(x) ^ self.offset
     }
 
+    /// Evaluates the map on **every** input of the domain in one Gray-code
+    /// pass: `table()[x] = f(x)`, one XOR per entry.
+    ///
+    /// This is the packed kernel behind building connection tables from
+    /// affine certificates (`min-core`'s `Connection::from_affine`) and
+    /// behind the `O(N)` affine-form check.
+    pub fn table(&self) -> Vec<Label> {
+        crate::bitmat::gray_code_table(self.width_in(), self.linear.columns(), self.offset)
+    }
+
     /// Checks that `func` agrees with this affine map on the whole domain.
     pub fn agrees_with<F: Fn(Label) -> Label>(&self, func: F) -> bool {
         let m = mask(self.width_out());
-        crate::all_labels(self.width_in()).all(|x| self.apply(x) == func(x) & m)
+        self.table()
+            .iter()
+            .zip(crate::all_labels(self.width_in()))
+            .all(|(&img, x)| img == func(x) & m)
     }
 
     /// Composition `self ∘ other` (apply `other` first).
@@ -146,6 +159,19 @@ mod tests {
         let f = |x: Label| if x == 3 { 0 } else { x };
         let a = AffineMap::interpolate(3, 3, f);
         assert!(!a.agrees_with(f));
+    }
+
+    #[test]
+    fn table_matches_pointwise_application() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..10 {
+            let a = AffineMap::random(6, 4, &mut rng);
+            let table = a.table();
+            assert_eq!(table.len(), 64);
+            for x in crate::all_labels(6) {
+                assert_eq!(table[x as usize], a.apply(x));
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,26 @@ pub fn popcount(x: Label) -> u32 {
     x.count_ones()
 }
 
+/// Position of the highest set digit of `x`, or `None` for `x = 0`.
+///
+/// The elimination kernels ([`crate::bitmat`]) and the subspace reduction
+/// key every pivot by this position.
+///
+/// ```
+/// use min_labels::gf2::leading_bit;
+/// assert_eq!(leading_bit(0b1010), Some(3));
+/// assert_eq!(leading_bit(1), Some(0));
+/// assert_eq!(leading_bit(0), None);
+/// ```
+#[inline]
+pub fn leading_bit(x: Label) -> Option<usize> {
+    if x == 0 {
+        None
+    } else {
+        Some(63 - x.leading_zeros() as usize)
+    }
+}
+
 /// Parity (sum over GF(2)) of the digits of `x`.
 ///
 /// Used when evaluating a GF(2) linear form (a row of a matrix) against a

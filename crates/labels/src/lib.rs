@@ -20,6 +20,11 @@
 //!   over GF(2). Independent connections turn out to be exactly the affine
 //!   pairs `(f, f ⊕ c)` (see `min-core::affine_form`), so these types carry
 //!   the certificates produced by the independence checker.
+//! * [`bitmat::BitMatrix`] — word-packed GF(2) matrices: XOR-row
+//!   elimination, rank, kernel/image bases, solving and inversion, one `u64`
+//!   word per row. These are the hot kernels behind the shim types above;
+//!   the pre-packing digit-at-a-time implementations are retained in
+//!   [`scalar`] as the reference oracle and benchmark baseline.
 //! * [`index_perm::IndexPermutation`] — a permutation θ of the digit
 //!   positions, i.e. a PIPID generator: perfect shuffle, sub-shuffles,
 //!   butterflies, bit reversal, and arbitrary θ.
@@ -33,14 +38,17 @@
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod bitmat;
 pub mod gf2;
 pub mod index_perm;
 pub mod linear;
 pub mod perm;
+pub mod scalar;
 pub mod subspace;
 
 pub use affine::AffineMap;
-pub use gf2::{all_labels, bit, mask, parity, popcount, Label, Width};
+pub use bitmat::BitMatrix;
+pub use gf2::{all_labels, bit, leading_bit, mask, parity, popcount, Label, Width};
 pub use index_perm::IndexPermutation;
 pub use linear::LinearMap;
 pub use perm::Permutation;

@@ -9,8 +9,17 @@
 //! `f` is *affine* with linear part shared by `g` (see
 //! `min-core::affine_form`), so [`LinearMap`] is the certificate type
 //! produced by the fast independence checker.
+//!
+//! Since the bitset-packing refactor this type is a thin shim: rank,
+//! kernel, inversion, solving and composition all delegate to the
+//! word-packed elimination kernels of [`crate::bitmat`] (the column list is
+//! handed to [`BitMatrix`] as the rows of the transpose), and full-domain
+//! evaluation uses the Gray-code table builder. The historical
+//! digit-at-a-time implementations are retained in [`crate::scalar`] as the
+//! reference oracle and benchmark baseline.
 
-use crate::gf2::{bit, mask, Label, Width};
+use crate::bitmat::{gray_code_table, BitMatrix};
+use crate::gf2::{mask, Label, Width};
 use crate::subspace::Subspace;
 
 /// A GF(2) linear map stored column-wise.
@@ -104,30 +113,48 @@ impl LinearMap {
         acc
     }
 
+    /// Evaluates the map on **every** input of the domain in one Gray-code
+    /// pass: `table()[x] = L(x)`, one XOR per entry.
+    pub fn table(&self) -> Vec<Label> {
+        gray_code_table(self.width_in, &self.columns, 0)
+    }
+
+    /// The packed transpose view: the columns of this map are the rows of
+    /// the returned [`BitMatrix`], which is how the elimination kernels
+    /// consume it (see the orientation note in [`crate::bitmat`]).
+    pub fn column_matrix(&self) -> BitMatrix {
+        BitMatrix::from_rows(self.width_out, self.columns.clone())
+    }
+
     /// Checks whether `func` agrees with this linear map on **every** input
     /// of the domain. Combined with [`LinearMap::interpolate`] this is an
     /// exact linearity test for an arbitrary function table.
     pub fn agrees_with<F: Fn(Label) -> Label>(&self, func: F) -> bool {
         let m = mask(self.width_out);
-        crate::all_labels(self.width_in).all(|x| self.apply(x) == func(x) & m)
+        self.table()
+            .iter()
+            .zip(crate::all_labels(self.width_in))
+            .all(|(&img, x)| img == func(x) & m)
     }
 
-    /// Composition `self ∘ other` (apply `other` first).
+    /// Composition `self ∘ other` (apply `other` first), as a packed matrix
+    /// product: every column of the result is one row-combination pass.
     pub fn compose(&self, other: &LinearMap) -> LinearMap {
         assert_eq!(
             other.width_out, self.width_in,
             "composition requires matching intermediate widths"
         );
+        let product = other.column_matrix().mul(&self.column_matrix());
         LinearMap {
             width_in: other.width_in,
             width_out: self.width_out,
-            columns: other.columns.iter().map(|&c| self.apply(c)).collect(),
+            columns: product.rows().to_vec(),
         }
     }
 
-    /// Rank of the matrix over GF(2).
+    /// Rank of the matrix over GF(2) (packed XOR-row elimination).
     pub fn rank(&self) -> usize {
-        Subspace::from_generators(self.width_out, self.columns.iter().copied()).dim()
+        self.column_matrix().rank()
     }
 
     /// Image of the map, as a subspace of the codomain.
@@ -135,32 +162,15 @@ impl LinearMap {
         Subspace::from_generators(self.width_out, self.columns.iter().copied())
     }
 
-    /// Kernel of the map, as a subspace of the domain.
+    /// Kernel of the map, as a subspace of the domain: the packed
+    /// elimination collects the linear relations among the columns.
     pub fn kernel(&self) -> Subspace {
-        // Gaussian elimination on the columns, tracking the combination of
-        // basis vectors producing each reduced column.
-        let mut reduced: Vec<(Label, Label)> = Vec::new(); // (value, combination)
-        let mut kernel_gens = Vec::new();
-        for j in 0..self.width_in {
-            let mut val = self.columns[j];
-            let mut combo = 1u64 << j;
-            for &(rv, rc) in &reduced {
-                if rv != 0 {
-                    let lead = 63 - rv.leading_zeros() as usize;
-                    if bit(val, lead) == 1 {
-                        val ^= rv;
-                        combo ^= rc;
-                    }
-                }
-            }
-            if val == 0 {
-                kernel_gens.push(combo);
-            } else {
-                reduced.push((val, combo));
-                reduced.sort_unstable_by_key(|r| std::cmp::Reverse(r.0));
-            }
-        }
-        Subspace::from_generators(self.width_in, kernel_gens)
+        Subspace::from_generators(self.width_in, self.column_matrix().row_relations())
+    }
+
+    /// Solves `L x = y`, or `None` when `y` is outside the image.
+    pub fn solve(&self, y: Label) -> Option<Label> {
+        self.column_matrix().solve_combination(y)
     }
 
     /// `true` when the map is a bijection of `Z_2^width` (square and full
@@ -169,50 +179,16 @@ impl LinearMap {
         self.width_in == self.width_out && self.rank() == self.width_in
     }
 
-    /// Inverse of an invertible square map.
+    /// Inverse of an invertible square map (one packed Gauss–Jordan pass;
+    /// no digit-at-a-time row rebuilding).
     pub fn inverse(&self) -> Option<LinearMap> {
-        if !self.is_invertible() {
+        if self.width_in != self.width_out {
             return None;
         }
-        let w = self.width_in;
-        // Gauss-Jordan on [M | I] columns: we solve M * inv_col_j = e_j.
-        // Since w <= 32, a simple O(w^3) elimination is plenty.
-        // Represent rows of M: row i has bit j = bit i of columns[j].
-        let mut rows: Vec<Label> = (0..w)
-            .map(|i| {
-                let mut r = 0u64;
-                for j in 0..w {
-                    r |= bit(self.columns[j], i) << j;
-                }
-                r
-            })
-            .collect();
-        let mut inv_rows: Vec<Label> = (0..w).map(|i| 1u64 << i).collect();
-        for col in 0..w {
-            // Find pivot row with a 1 in `col` at or below `col`.
-            let pivot = (col..w).find(|&r| bit(rows[r], col) == 1)?;
-            rows.swap(col, pivot);
-            inv_rows.swap(col, pivot);
-            for r in 0..w {
-                if r != col && bit(rows[r], col) == 1 {
-                    rows[r] ^= rows[col];
-                    inv_rows[r] ^= inv_rows[col];
-                }
-            }
-        }
-        // inv_rows now holds the rows of M^{-1}; convert back to columns.
-        let inv_columns: Vec<Label> = (0..w)
-            .map(|j| {
-                let mut c = 0u64;
-                for i in 0..w {
-                    c |= bit(inv_rows[i], j) << i;
-                }
-                c
-            })
-            .collect();
+        let inv_columns = self.column_matrix().combination_inverse()?;
         Some(LinearMap {
-            width_in: w,
-            width_out: w,
+            width_in: self.width_in,
+            width_out: self.width_out,
             columns: inv_columns,
         })
     }
@@ -329,6 +305,34 @@ mod tests {
         let m = LinearMap::from_columns(3, 3, vec![0b001, 0b001, 0b100]);
         assert!(!m.is_invertible());
         assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn table_matches_pointwise_application() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        for _ in 0..10 {
+            let m = LinearMap::random(7, 5, &mut rng);
+            let table = m.table();
+            assert_eq!(table.len(), 128);
+            for x in crate::all_labels(7) {
+                assert_eq!(table[x as usize], m.apply(x));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_finds_preimages_exactly_on_the_image() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..10 {
+            let m = LinearMap::random(5, 5, &mut rng);
+            let image = m.image();
+            for y in crate::all_labels(5) {
+                match m.solve(y) {
+                    Some(x) => assert_eq!(m.apply(x), y),
+                    None => assert!(!image.contains(y)),
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   PIPID networks, random independent-connection Banyan networks
 //!   (the objects of Theorem 3), random arbitrary-wiring networks
 //!   (the negative controls);
+//! * [`classify_grid`] — declarative grids (catalog cells × stage counts ×
+//!   random samples) feeding the equivalence-classification campaigns of
+//!   `min_core::classify`;
 //! * [`counterexample`] — the degenerate and non-equivalent networks that
 //!   delimit the theory: Fig. 5 parallel-link stages, Banyan networks that
 //!   are *not* Baseline-equivalent, and buddy-property networks that are not
@@ -24,6 +27,7 @@
 pub mod builder;
 pub mod catalog;
 pub mod classical;
+pub mod classify_grid;
 pub mod counterexample;
 pub mod random;
 
@@ -32,3 +36,4 @@ pub use catalog::{catalog_grid, ClassicalNetwork};
 pub use classical::{
     baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline,
 };
+pub use classify_grid::{ClassificationGrid, RandomFamily};

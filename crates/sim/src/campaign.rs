@@ -283,12 +283,12 @@ impl Scenario {
 ///
 /// SplitMix64 finalizer over `campaign_seed ⊕ (index + 1) · φ64`: cheap,
 /// stateless, and collision-free in practice for any realistic grid, so two
-/// scenarios never share a ChaCha8 stream.
+/// scenarios never share a ChaCha8 stream. This is the same derivation the
+/// classification campaigns use — both delegate to
+/// [`min_core::classify::derive_seed`], so the two subsystems can never
+/// drift apart.
 pub fn scenario_seed(campaign_seed: u64, index: usize) -> u64 {
-    let mut z = campaign_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    min_core::classify::derive_seed(campaign_seed, index)
 }
 
 /// The measured outcome of one scenario.

@@ -1,0 +1,107 @@
+//! Equivalence-classification campaign over the classical catalog.
+//!
+//! Expands a declarative grid — every classical network family at
+//! n = 2..=16, plus random-network samples (PIPID, independent-Banyan,
+//! link-permutation, buddy) at smaller sizes — into a canonical subject
+//! list, classifies every network into Baseline-equivalence classes across
+//! worker threads, prints the per-class summary, and writes the
+//! machine-readable report to `classification.json`. The same `--seed`
+//! yields a byte-identical report at any `--threads` value; the CI
+//! `classify-smoke` job runs exactly this binary twice and `cmp`s the
+//! outputs.
+//!
+//! ```text
+//! cargo run --release --example classify_sweep \
+//!     [-- --threads <T>] [--seed <S>] [--min-stages <A>] [--max-stages <B>] \
+//!     [--random-samples <K>] [--random-min-stages <A>] [--random-max-stages <B>] \
+//!     [--out <path>]
+//! ```
+
+use baseline_equivalence::prelude::{classify_subjects, ClassificationGrid, RandomFamily};
+
+fn main() {
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut seed = 0x1988u64;
+    let mut min_stages = 2usize;
+    let mut max_stages = 16usize;
+    let mut random_samples = 2u32;
+    let mut random_min_stages = 3usize;
+    let mut random_max_stages = 6usize;
+    let mut out_path = String::from("classification.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned();
+        let parse =
+            |what: &str, v: Option<String>| v.unwrap_or_else(|| panic!("missing value for {what}"));
+        match args[i].as_str() {
+            "--threads" => threads = parse("--threads", value).parse().expect("thread count"),
+            "--seed" => seed = parse("--seed", value).parse().expect("seed"),
+            "--min-stages" => min_stages = parse("--min-stages", value).parse().expect("stages"),
+            "--max-stages" => max_stages = parse("--max-stages", value).parse().expect("stages"),
+            "--random-samples" => {
+                random_samples = parse("--random-samples", value).parse().expect("samples")
+            }
+            "--random-min-stages" => {
+                random_min_stages = parse("--random-min-stages", value).parse().expect("stages")
+            }
+            "--random-max-stages" => {
+                random_max_stages = parse("--random-max-stages", value).parse().expect("stages")
+            }
+            "--out" => out_path = parse("--out", value),
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 2;
+    }
+
+    let mut grid = ClassificationGrid::over_catalog(min_stages..=max_stages).with_seed(seed);
+    if random_samples > 0 {
+        grid = grid.with_random(
+            RandomFamily::ALL.to_vec(),
+            random_min_stages..=random_max_stages,
+            random_samples,
+        );
+    }
+
+    println!(
+        "== Classification: {} catalog cells (n={min_stages}..={max_stages}) + {} random subjects = {} subjects (seed {seed:#x}) ==\n",
+        grid.catalog.len(),
+        grid.subject_count() - grid.catalog.len(),
+        grid.subject_count(),
+    );
+
+    let subjects = grid.subjects();
+    let started = std::time::Instant::now();
+    let report = match classify_subjects(&subjects, threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("classification failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    print!("{}", report.summary_table());
+    println!(
+        "\ncompleted in {:.2?} with {} worker thread(s) requested",
+        elapsed,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+
+    if report
+        .classes
+        .iter()
+        .any(|c| c.equivalent && !c.cross_verified)
+    {
+        eprintln!("cross-verification failed for an equivalence class");
+        std::process::exit(1);
+    }
+
+    std::fs::write(&out_path, report.to_json()).expect("write classification report");
+    println!("report written to {out_path}");
+}

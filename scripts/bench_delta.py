@@ -17,6 +17,7 @@ runners, so deltas are advisory trend data, not gates.
 """
 
 import json
+import math
 import pathlib
 import sys
 
@@ -40,9 +41,13 @@ def load_medians(path: pathlib.Path) -> dict:
                 continue
             try:
                 row = json.loads(line)
-                medians[row["name"]] = float(row["median_ns"])
+                median = float(row["median_ns"])
             except (ValueError, KeyError, TypeError):
                 continue
+            # Non-finite or non-positive medians cannot participate in a
+            # delta; drop them here so no downstream division can blow up.
+            if median > 0.0 and math.isfinite(median):
+                medians[row["name"]] = median
     return medians
 
 
@@ -72,24 +77,34 @@ def main() -> int:
             print(f"| `{name}` | {fmt_ns(current[name])} |")
         return 0
 
+    # Deltas are only defined for benchmarks present in BOTH files; names
+    # present in just one are skipped in the table and reported by name
+    # below, so a renamed or newly registered bench never crashes the diff.
+    common = sorted(set(current) & set(previous))
+    added = sorted(set(current) - set(previous))
+    removed = sorted(set(previous) - set(current))
+
     print("| benchmark | previous | current | delta |")
     print("|---|---:|---:|---:|")
     regressions = []
-    for name in sorted(current):
+    for name in common:
         cur = current[name]
-        prev = previous.get(name)
-        if prev is None or prev <= 0.0:
-            print(f"| `{name}` | — | {fmt_ns(cur)} | new |")
-            continue
+        prev = previous[name]
         delta = (cur - prev) / prev * 100.0
         marker = ""
         if delta > REGRESSION_PCT:
             marker = " ⚠️"
             regressions.append((name, delta))
         print(f"| `{name}` | {fmt_ns(prev)} | {fmt_ns(cur)} | {delta:+.1f}%{marker} |")
-    removed = sorted(set(previous) - set(current))
-    for name in removed:
-        print(f"| `{name}` | {fmt_ns(previous[name])} | — | removed |")
+    for name in added:
+        print(f"| `{name}` | — | {fmt_ns(current[name])} | new |")
+
+    if added:
+        print(f"\n**Added benchmarks ({len(added)}):** "
+              + ", ".join(f"`{n}`" for n in added))
+    if removed:
+        print(f"\n**Removed benchmarks ({len(removed)}):** "
+              + ", ".join(f"`{n}`" for n in removed))
 
     # Annotate (never fail) on regressions past the threshold; shared-runner
     # noise makes these advisory.

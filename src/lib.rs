@@ -8,11 +8,13 @@
 //! This facade crate re-exports the whole workspace so applications can
 //! depend on a single crate:
 //!
-//! * [`labels`] (`min-labels`) — GF(2) label algebra and PIPID permutations;
+//! * [`labels`] (`min-labels`) — GF(2) label algebra (word-packed
+//!   elimination kernels plus a retained scalar oracle) and PIPID
+//!   permutations;
 //! * [`graph`] (`min-graph`) — the MI-digraph engine;
 //! * [`core`] (`min-core`) — independent connections, the `P(i,j)`
 //!   properties, the certified constructive Baseline isomorphism, buddy and
-//!   delta properties;
+//!   delta properties, and the equivalence-classification campaign engine;
 //! * [`networks`] (`min-networks`) — the six classical networks, builders,
 //!   random generators and counterexamples;
 //! * [`routing`] (`min-routing`) — destination-tag routing and permutation
@@ -52,12 +54,13 @@ pub use min_sim as sim;
 pub mod prelude {
     pub use crate::{core, graph, labels, networks, routing, sim};
     pub use min_core::{
-        baseline_digraph, baseline_isomorphism, equivalence_mapping, is_independent,
-        satisfies_characterization, Connection, ConnectionNetwork,
+        baseline_digraph, baseline_isomorphism, classify_subjects, equivalence_mapping,
+        is_independent, satisfies_characterization, ClassificationReport, Connection,
+        ConnectionNetwork, Subject, Witness,
     };
     pub use min_graph::MiDigraph;
-    pub use min_labels::IndexPermutation;
-    pub use min_networks::{catalog_grid, ClassicalNetwork};
+    pub use min_labels::{BitMatrix, IndexPermutation};
+    pub use min_networks::{catalog_grid, ClassicalNetwork, ClassificationGrid, RandomFamily};
     pub use min_sim::{
         run_campaign, simulate, BufferMode, CampaignConfig, CampaignReport, SimConfig, Simulator,
         SwitchCore, TrafficPattern,
