@@ -1,0 +1,73 @@
+//! Fault-injection throughput ablation.
+//!
+//! Measures simulated cycles per second of the three switching cores —
+//! unbuffered, FIFO and multi-lane wormhole — on a healthy fabric, under a
+//! single dead link, and under a seeded 4-fault plan, plus the incremental
+//! cost of a dormant (never-firing) plan. The healthy rows double as the
+//! regression guard for the fault subsystem's zero-cost-when-unused claim:
+//! `fault_throughput/<core>/healthy` should track the corresponding
+//! `simulator_ablation` medians.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use min_bench::{configure, BENCH_SEED};
+use min_networks::omega;
+use min_sim::{simulate, BufferMode, FaultPlan, SimConfig};
+
+const SIM_CYCLES: u64 = 300;
+const STAGES: usize = 5;
+
+fn bench_fault_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_throughput");
+    group.throughput(Throughput::Elements(SIM_CYCLES));
+    let net = omega(STAGES);
+    let cells = net.cells_per_stage();
+
+    let cores: [(&str, BufferMode); 3] = [
+        ("unbuffered", BufferMode::Unbuffered),
+        ("fifo4", BufferMode::Fifo(4)),
+        (
+            "worm2x4x4",
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 4,
+                flits_per_packet: 4,
+            },
+        ),
+    ];
+    let plans: [(&str, FaultPlan); 4] = [
+        ("healthy", FaultPlan::none()),
+        (
+            "dormant",
+            FaultPlan::none().with_dead_link(1, 0, 1, SIM_CYCLES + 1),
+        ),
+        ("1-fault", FaultPlan::none().with_dead_link(1, 0, 1, 0)),
+        (
+            "4-fault",
+            FaultPlan::random_links(BENCH_SEED, 4, STAGES, cells),
+        ),
+    ];
+
+    for (core_name, mode) in &cores {
+        for (plan_name, plan) in &plans {
+            let cfg = SimConfig::default()
+                .with_load(0.9)
+                .with_cycles(SIM_CYCLES, 0)
+                .with_seed(BENCH_SEED)
+                .with_buffer(*mode)
+                .with_faults(plan.clone());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{core_name}/{plan_name}"), STAGES),
+                &cfg,
+                |b, cfg| b.iter(|| simulate(net.clone(), cfg.clone()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_fault_tolerance
+}
+criterion_main!(group);

@@ -19,7 +19,10 @@
 //! * [`counterexample`] — the degenerate and non-equivalent networks that
 //!   delimit the theory: Fig. 5 parallel-link stages, Banyan networks that
 //!   are *not* Baseline-equivalent, and buddy-property networks that are not
-//!   Baseline-equivalent (the point of reference \[10\]).
+//!   Baseline-equivalent (the point of reference \[10\]);
+//! * [`faulty`] — damaged variants of the catalog networks (dead links,
+//!   dead switches, stuck cells) feeding the fault-tolerance analysis of
+//!   `min-routing` and the fault-injection campaigns of `min-sim`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod catalog;
 pub mod classical;
 pub mod classify_grid;
 pub mod counterexample;
+pub mod faulty;
 pub mod random;
 
 pub use builder::NetworkBuilder;
@@ -37,3 +41,4 @@ pub use classical::{
     baseline, flip, indirect_binary_cube, modified_data_manipulator, omega, reverse_baseline,
 };
 pub use classify_grid::{ClassificationGrid, RandomFamily};
+pub use faulty::{dead_link_digraph, dead_switch_digraph, link_sites, stuck_cell};

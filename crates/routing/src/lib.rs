@@ -13,6 +13,11 @@
 //! * [`permutation_routing`] — conflict analysis when all `N` inputs send
 //!   simultaneously according to a permutation: admissibility, conflict
 //!   counting, the blocking structure;
+//! * [`disjoint`] — link-disjoint path enumeration per (source,
+//!   destination) pair and fault-aware rerouting: fall back across the
+//!   disjoint paths when links or switches die, with a typed
+//!   [`disjoint::FaultRoute::Unroutable`] outcome when a pair's last path
+//!   is severed;
 //! * [`analysis`] — aggregate admissibility statistics (exhaustive for small
 //!   `N`, Monte-Carlo beyond) used to demonstrate that topologically
 //!   equivalent networks have identical admissibility *profiles* up to
@@ -22,10 +27,15 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod disjoint;
 pub mod path;
 pub mod permutation_routing;
 pub mod tag;
 
+pub use disjoint::{
+    all_paths, disjoint_path_count, disjoint_paths, path_diversity_histogram, path_tag,
+    route_all_to, route_around, surviving_path, FaultDigest, FaultRoute,
+};
 pub use path::{route_terminals, CellPath, TerminalRoute};
 pub use permutation_routing::{permutation_conflicts, ConflictReport};
 pub use tag::{destination_tags, route_with_tag, tag_for_destination, SelfRoutingTable};

@@ -1,0 +1,114 @@
+//! Property tests for the disjoint-path enumeration: on random PIPID
+//! networks and on damaged stuck-cell fabrics, every enumerated
+//! disjoint-path set is pairwise link-disjoint, and every member is a valid
+//! stage-monotone path of the fabric — checked both against the `(f, g)`
+//! port semantics (`verify_cell_path`) and against the raw arcs of the
+//! MI-digraph.
+
+use min_core::ConnectionNetwork;
+use min_graph::paths::is_banyan;
+use min_networks::{random::random_pipid_network, stuck_cell, ClassicalNetwork};
+use min_routing::disjoint::{all_paths, disjoint_paths, path_diversity_histogram};
+use min_routing::path::verify_cell_path;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Asserts the disjoint-path invariants for every (src, dst) pair of `net`,
+/// returning an error message on the first violation (proptest style).
+fn check_disjoint_invariants(net: &ConnectionNetwork) -> Result<(), String> {
+    let g = net.to_digraph();
+    let cells = net.cells_per_stage() as u64;
+    for src in 0..cells {
+        for dst in 0..cells {
+            let paths = disjoint_paths(net, src, dst);
+            let mut used = std::collections::HashSet::new();
+            for path in &paths {
+                // Endpoints and shape.
+                if path.cells.first() != Some(&(src as u32))
+                    || path.cells.last() != Some(&(dst as u32))
+                {
+                    return Err(format!("{src}->{dst}: wrong endpoints {path:?}"));
+                }
+                // Valid under the (f, g) port semantics…
+                if !verify_cell_path(net, path) {
+                    return Err(format!("{src}->{dst}: invalid cell path {path:?}"));
+                }
+                // …and every hop is a real arc of the fabric digraph.
+                for (s, window) in path.cells.windows(2).enumerate() {
+                    if !g.children(s, window[0]).contains(&window[1]) {
+                        return Err(format!(
+                            "{src}->{dst}: hop {window:?} at stage {s} is not an arc"
+                        ));
+                    }
+                }
+                // Pairwise link-disjoint across the whole set.
+                for (s, &port) in path.ports.iter().enumerate() {
+                    if !used.insert((s, path.cells[s], port)) {
+                        return Err(format!(
+                            "{src}->{dst}: link ({s}, {}, {port}) shared between \
+                             two 'disjoint' paths",
+                            path.cells[s]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random non-degenerate-PIPID networks (Banyan or not) keep every
+    /// disjoint-path invariant, their diversity histogram accounts for every
+    /// pair, and the Banyan instances among them have exactly one path per
+    /// pair.
+    #[test]
+    fn random_pipid_disjoint_sets_are_valid_and_singleton_when_banyan(
+        seed in any::<u64>(),
+        n in 3usize..=5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let net = random_pipid_network(n, &mut rng);
+        check_disjoint_invariants(&net)?;
+        let cells = net.cells_per_stage() as u64;
+        let hist = path_diversity_histogram(&net);
+        prop_assert_eq!(hist.iter().sum::<u64>(), cells * cells);
+        if is_banyan(&net.to_digraph()) {
+            prop_assert_eq!(hist, vec![0, cells * cells]);
+        }
+    }
+
+    /// Stuck-cell fabrics gain parallel-arc multipath pairs, but the twin
+    /// paths re-merge immediately and share every downstream link — so the
+    /// invariants still hold, some pair has ≥ 2 raw paths yet only 1
+    /// link-disjoint one, and the bypassed target severs other pairs.
+    #[test]
+    fn stuck_cell_fabrics_keep_the_invariants_under_multipath(
+        kind_index in 0usize..6,
+        n in 3usize..=4,
+        cell in 0u32..4,
+        port in 0u8..2,
+    ) {
+        let kind = ClassicalNetwork::ALL[kind_index];
+        // Jamming a first-stage cell guarantees the parallel arcs sit on
+        // live source→destination paths.
+        let net = stuck_cell(&kind.build(n), 0, cell, port);
+        check_disjoint_invariants(&net)?;
+        let cells = net.cells_per_stage() as u64;
+        let hist = path_diversity_histogram(&net);
+        prop_assert_eq!(hist.iter().sum::<u64>(), cells * cells);
+        prop_assert!(hist[0] > 0, "the bypassed target severs some pairs");
+        // Parallel links alone buy no end-to-end redundancy: the twin paths
+        // share all links past the jammed stage, so no pair gains a second
+        // disjoint path.
+        prop_assert_eq!(hist.len(), 2);
+        let multipath = (0..cells).flat_map(|s| (0..cells).map(move |d| (s, d)))
+            .any(|(s, d)| {
+                all_paths(&net, s, d).len() >= 2 && disjoint_paths(&net, s, d).len() == 1
+            });
+        prop_assert!(multipath, "some pair must be multipath but not disjoint");
+    }
+}

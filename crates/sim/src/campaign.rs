@@ -1,8 +1,9 @@
 //! Scenario campaigns: declarative simulation grids fanned out across threads.
 //!
 //! A [`CampaignConfig`] describes a grid — catalog cells (network family ×
-//! stage count) × traffic pattern × offered load × buffer mode ×
-//! replication — plus the simulation parameters shared by every cell.
+//! stage count) × traffic pattern × offered load × buffer mode × fault
+//! plan × replication — plus the simulation parameters shared by every
+//! cell.
 //! [`run_campaign`] expands the grid into a flat, deterministically ordered
 //! work queue of [`Scenario`]s, fans the queue out across scoped worker
 //! threads, and collects one [`ScenarioResult`] per scenario into a
@@ -12,7 +13,11 @@
 //! *buffer architectures*, not just families: the same grid cell can run
 //! unbuffered (Patel), FIFO-buffered, and flit-level wormhole
 //! ([`BufferMode::Wormhole`]) back to back, the way the wormhole-routing and
-//! saturation-stability literature evaluates MINs.
+//! saturation-stability literature evaluates MINs. The fault-plan axis
+//! ([`CampaignConfig::with_fault_plans`]) multiplies the same grid by a
+//! failure dimension — healthy vs. 1-fault vs. k-fault fabrics — the way
+//! the Omega-stability literature measures networks under switch and link
+//! failures.
 //!
 //! ## Determinism
 //!
@@ -43,6 +48,7 @@
 use crate::config::{BufferMode, ConfigError, SimConfig};
 use crate::engine::{simulate, SimError};
 use crate::fabric::FabricError;
+use crate::fault::{FaultError, FaultPlan};
 use crate::traffic::TrafficPattern;
 use min_networks::{catalog_grid, ClassicalNetwork};
 use serde::{Deserialize, Serialize};
@@ -53,9 +59,9 @@ use std::thread;
 /// Declarative description of a simulation campaign.
 ///
 /// The grid axes are `cells × traffic × loads × buffer_modes ×
-/// replications`; the remaining fields are shared by every scenario.
-/// Construct with [`CampaignConfig::over_catalog`] (or [`Default`]) and
-/// refine with the builder-style setters.
+/// fault_plans × replications`; the remaining fields are shared by every
+/// scenario. Construct with [`CampaignConfig::over_catalog`] (or
+/// [`Default`]) and refine with the builder-style setters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Master seed; every scenario derives its own seed from this and its
@@ -70,6 +76,10 @@ pub struct CampaignConfig {
     pub loads: Vec<f64>,
     /// Buffer architectures swept per (cell, traffic, load) triple.
     pub buffer_modes: Vec<BufferMode>,
+    /// Fault plans swept per (cell, traffic, load, buffer mode) tuple —
+    /// the fault-injection axis. Defaults to the single empty plan (a
+    /// healthy fabric); every plan's sites must fit every grid cell.
+    pub fault_plans: Vec<FaultPlan>,
     /// Independent replications per grid point, each with its own derived
     /// seed.
     pub replications: u32,
@@ -98,6 +108,7 @@ impl CampaignConfig {
             traffic: vec![TrafficPattern::Uniform],
             loads: vec![0.5],
             buffer_modes: vec![BufferMode::Unbuffered],
+            fault_plans: vec![FaultPlan::none()],
             replications: 1,
             cycles: 400,
             warmup: 50,
@@ -146,6 +157,12 @@ impl CampaignConfig {
         self
     }
 
+    /// Builder-style setter for the fault-injection axis.
+    pub fn with_fault_plans(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.fault_plans = plans;
+        self
+    }
+
     /// Builder-style setter for the cycle counts.
     pub fn with_cycles(mut self, cycles: u64, warmup: u64) -> Self {
         self.cycles = cycles;
@@ -159,6 +176,7 @@ impl CampaignConfig {
             * self.traffic.len()
             * self.loads.len()
             * self.buffer_modes.len()
+            * self.fault_plans.len()
             * self.replications as usize
     }
 
@@ -188,6 +206,22 @@ impl CampaignConfig {
         for mode in &self.buffer_modes {
             mode.validate().map_err(CampaignError::InvalidBuffer)?;
         }
+        if self.fault_plans.is_empty() {
+            return Err(CampaignError::EmptyAxis("fault_plans"));
+        }
+        for (plan_index, plan) in self.fault_plans.iter().enumerate() {
+            // Every plan must fit every grid cell (stage counts were
+            // range-checked above, so `1 << (stages - 1)` cannot overflow).
+            for &(_, stages) in &self.cells {
+                plan.validate(stages, 1 << (stages - 1)).map_err(|error| {
+                    CampaignError::InvalidFaultPlan {
+                        plan: plan_index,
+                        stages,
+                        error,
+                    }
+                })?;
+            }
+        }
         if self.replications == 0 {
             return Err(CampaignError::EmptyAxis("replications"));
         }
@@ -212,9 +246,9 @@ impl CampaignConfig {
     }
 
     /// Expands the grid into the flat scenario list, in its canonical order:
-    /// cells (outermost) × traffic × loads × buffer modes × replications
-    /// (innermost). The scenario index — and with it the derived seed —
-    /// depends only on the grid, never on thread scheduling.
+    /// cells (outermost) × traffic × loads × buffer modes × fault plans ×
+    /// replications (innermost). The scenario index — and with it the
+    /// derived seed — depends only on the grid, never on thread scheduling.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, CampaignError> {
         self.validate()?;
         let mut out = Vec::with_capacity(self.scenario_count());
@@ -222,18 +256,21 @@ impl CampaignConfig {
             for traffic in &self.traffic {
                 for &offered_load in &self.loads {
                     for &buffer_mode in &self.buffer_modes {
-                        for replication in 0..self.replications {
-                            let index = out.len();
-                            out.push(Scenario {
-                                index,
-                                network,
-                                stages,
-                                traffic: traffic.clone(),
-                                offered_load,
-                                buffer_mode,
-                                replication,
-                                seed: scenario_seed(self.campaign_seed, index),
-                            });
+                        for fault_plan in &self.fault_plans {
+                            for replication in 0..self.replications {
+                                let index = out.len();
+                                out.push(Scenario {
+                                    index,
+                                    network,
+                                    stages,
+                                    traffic: traffic.clone(),
+                                    offered_load,
+                                    buffer_mode,
+                                    fault_plan: fault_plan.clone(),
+                                    replication,
+                                    seed: scenario_seed(self.campaign_seed, index),
+                                });
+                            }
                         }
                     }
                 }
@@ -243,8 +280,8 @@ impl CampaignConfig {
     }
 }
 
-/// One fully specified `(network, traffic, load, buffer mode, replication)`
-/// run.
+/// One fully specified `(network, traffic, load, buffer mode, fault plan,
+/// replication)` run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Position in the canonical grid expansion.
@@ -259,6 +296,8 @@ pub struct Scenario {
     pub offered_load: f64,
     /// Buffer architecture of the cells.
     pub buffer_mode: BufferMode,
+    /// Injected faults (the empty plan = healthy fabric).
+    pub fault_plan: FaultPlan,
     /// Replication number within the grid point.
     pub replication: u32,
     /// Derived ChaCha8 seed for this scenario.
@@ -275,6 +314,7 @@ impl Scenario {
             cycles: campaign.cycles,
             warmup: campaign.warmup,
             seed: self.seed,
+            fault_plan: self.fault_plan.clone(),
         }
     }
 }
@@ -326,6 +366,19 @@ pub struct ScenarioResult {
     pub mean_occupancy: f64,
     /// Packets still in flight when the run ended.
     pub in_flight: u64,
+    /// Packets (or worms) lost to an injected fault.
+    pub dropped_fault: u64,
+    /// Injection attempts refused because the pair was severed by faults.
+    pub unroutable_drops: u64,
+    /// Packets delivered while at least one fault was active.
+    pub delivered_despite_fault: u64,
+    /// Per-stage fault-exposure counts (empty for a fault-free scenario).
+    pub fault_exposure: Vec<u64>,
+    /// Disjoint-path diversity histogram of the scenario's fabric:
+    /// `path_diversity[k]` pairs have exactly `k` link-disjoint paths.
+    /// Computed for fault scenarios on fabrics up to 8 stages (empty
+    /// otherwise — the per-pair analysis is quadratic in the cell count).
+    pub path_diversity: Vec<u64>,
 }
 
 /// Whole-campaign totals and extremes.
@@ -343,6 +396,12 @@ pub struct CampaignAggregate {
     pub total_dropped_arbitration: u64,
     /// Sum of `dropped_backpressure` over all scenarios.
     pub total_dropped_backpressure: u64,
+    /// Sum of `dropped_fault` over all scenarios.
+    pub total_dropped_fault: u64,
+    /// Sum of `unroutable_drops` over all scenarios.
+    pub total_unroutable_drops: u64,
+    /// Sum of `delivered_despite_fault` over all scenarios.
+    pub total_delivered_despite_fault: u64,
     /// Unweighted mean of the per-scenario throughputs.
     pub mean_throughput: f64,
     /// Largest per-scenario p99 latency.
@@ -359,6 +418,8 @@ pub struct CampaignReport {
     pub campaign_seed: u64,
     /// The buffer-mode axis of the grid.
     pub buffer_modes: Vec<BufferMode>,
+    /// The fault-injection axis of the grid.
+    pub fault_plans: Vec<FaultPlan>,
     /// Measured cycles per scenario.
     pub cycles: u64,
     /// Warm-up cycles per scenario.
@@ -389,43 +450,49 @@ impl CampaignReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<28} {:>3} {:<14} {:<14} {:>5} {:>4} {:>9} {:>9} {:>5} {:>8}",
+            "{:<28} {:>3} {:<14} {:<14} {:<16} {:>5} {:>4} {:>9} {:>9} {:>5} {:>8} {:>8}",
             "network",
             "n",
             "traffic",
             "buffers",
+            "faults",
             "load",
             "rep",
             "tput",
             "mean lat",
             "p99",
-            "dropped"
+            "dropped",
+            "unroute"
         );
         for r in &self.scenarios {
             let _ = writeln!(
                 out,
-                "{:<28} {:>3} {:<14} {:<14} {:>5.2} {:>4} {:>9.4} {:>9.2} {:>5} {:>8}",
+                "{:<28} {:>3} {:<14} {:<14} {:<16} {:>5.2} {:>4} {:>9.4} {:>9.2} {:>5} {:>8} {:>8}",
                 r.scenario.network.name(),
                 r.scenario.stages,
                 r.scenario.traffic.label(),
                 r.scenario.buffer_mode.label(),
+                r.scenario.fault_plan.label(),
                 r.scenario.offered_load,
                 r.scenario.replication,
                 r.throughput,
                 r.mean_latency,
                 r.p99_latency,
-                r.dropped
+                r.dropped,
+                r.unroutable_drops
             );
         }
         let a = &self.aggregate;
         let _ = writeln!(
             out,
-            "{} scenarios · delivered {}/{} offered · mean tput {:.4} · worst p99 {} cycles",
+            "{} scenarios · delivered {}/{} offered · mean tput {:.4} · worst p99 {} cycles · {} fault drops · {} unroutable",
             self.scenario_count,
             a.total_delivered,
             a.total_offered,
             a.mean_throughput,
-            a.worst_p99_latency
+            a.worst_p99_latency,
+            a.total_dropped_fault,
+            a.total_unroutable_drops
         );
         out
     }
@@ -467,6 +534,16 @@ pub enum CampaignError {
         /// The underlying configuration error.
         error: ConfigError,
     },
+    /// A fault plan on the grid axis names a site outside one of the grid
+    /// cells' fabrics.
+    InvalidFaultPlan {
+        /// Index of the offending plan on the `fault_plans` axis.
+        plan: usize,
+        /// The stage count of the grid cell the plan does not fit.
+        stages: usize,
+        /// The underlying site error.
+        error: FaultError,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -496,6 +573,16 @@ impl std::fmt::Display for CampaignError {
                     "scenario {scenario} has an invalid configuration: {error}"
                 )
             }
+            CampaignError::InvalidFaultPlan {
+                plan,
+                stages,
+                error,
+            } => {
+                write!(
+                    f,
+                    "fault plan {plan} does not fit the {stages}-stage grid cells: {error}"
+                )
+            }
         }
     }
 }
@@ -503,12 +590,42 @@ impl std::fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {}
 
 /// Runs one scenario to completion.
+/// Per-(family, stage-count) disjoint-path diversity histograms, computed
+/// once per grid cell before the fan-out (the histogram depends only on the
+/// topology, not on the traffic/load/mode/plan axes). Cells above 8 stages
+/// are skipped — the per-pair analysis is quadratic in the cell count.
+type DiversityMap = std::collections::HashMap<(ClassicalNetwork, usize), Vec<u64>>;
+
+fn diversity_map(config: &CampaignConfig) -> DiversityMap {
+    let mut map = DiversityMap::new();
+    if config.fault_plans.iter().all(FaultPlan::is_empty) {
+        return map;
+    }
+    for &(network, stages) in &config.cells {
+        if stages <= 8 {
+            map.entry((network, stages)).or_insert_with(|| {
+                min_routing::disjoint::path_diversity_histogram(&network.build(stages))
+            });
+        }
+    }
+    map
+}
+
 fn run_scenario(
     campaign: &CampaignConfig,
     scenario: &Scenario,
+    diversity: &DiversityMap,
 ) -> Result<ScenarioResult, CampaignError> {
     let net = scenario.network.build(scenario.stages);
     let terminals = 1usize << scenario.stages;
+    let path_diversity = if scenario.fault_plan.is_empty() {
+        Vec::new()
+    } else {
+        diversity
+            .get(&(scenario.network, scenario.stages))
+            .cloned()
+            .unwrap_or_default()
+    };
     let metrics = simulate(net, scenario.sim_config(campaign)).map_err(|error| match error {
         SimError::Fabric(error) => CampaignError::Fabric {
             scenario: scenario.index,
@@ -516,6 +633,18 @@ fn run_scenario(
         },
         SimError::Config(error) => CampaignError::Config {
             scenario: scenario.index,
+            error,
+        },
+        // Plans are validated against every grid cell up front, so this is
+        // unreachable in practice; map it faithfully anyway, recovering the
+        // plan's axis index from the scenario.
+        SimError::Fault(error) => CampaignError::InvalidFaultPlan {
+            plan: campaign
+                .fault_plans
+                .iter()
+                .position(|p| *p == scenario.fault_plan)
+                .unwrap_or(usize::MAX),
+            stages: scenario.stages,
             error,
         },
     })?;
@@ -536,6 +665,11 @@ fn run_scenario(
         flit_stalls: metrics.flit_stalls,
         mean_occupancy: metrics.mean_lane_occupancy(),
         in_flight: metrics.in_flight_at_end,
+        dropped_fault: metrics.dropped_fault,
+        unroutable_drops: metrics.unroutable_drops,
+        delivered_despite_fault: metrics.delivered_despite_fault,
+        fault_exposure: metrics.fault_exposure.clone(),
+        path_diversity,
     })
 }
 
@@ -551,6 +685,7 @@ pub fn run_campaign(
 ) -> Result<CampaignReport, CampaignError> {
     let scenarios = config.scenarios()?;
     let workers = effective_threads(threads, scenarios.len());
+    let diversity = diversity_map(config);
 
     let cursor = AtomicUsize::new(0);
     let collected: Vec<(usize, Result<ScenarioResult, CampaignError>)> = thread::scope(|scope| {
@@ -558,6 +693,7 @@ pub fn run_campaign(
             .map(|_| {
                 let cursor = &cursor;
                 let scenarios = &scenarios;
+                let diversity = &diversity;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -565,7 +701,7 @@ pub fn run_campaign(
                         let Some(scenario) = scenarios.get(i) else {
                             break;
                         };
-                        local.push((i, run_scenario(config, scenario)));
+                        local.push((i, run_scenario(config, scenario, diversity)));
                     }
                     local
                 })
@@ -590,6 +726,7 @@ pub fn run_campaign(
     Ok(CampaignReport {
         campaign_seed: config.campaign_seed,
         buffer_modes: config.buffer_modes.clone(),
+        fault_plans: config.fault_plans.clone(),
         cycles: config.cycles,
         warmup: config.warmup,
         scenario_count: results.len(),
@@ -617,6 +754,9 @@ fn aggregate(results: &[ScenarioResult]) -> CampaignAggregate {
         total_dropped: 0,
         total_dropped_arbitration: 0,
         total_dropped_backpressure: 0,
+        total_dropped_fault: 0,
+        total_unroutable_drops: 0,
+        total_delivered_despite_fault: 0,
         mean_throughput: 0.0,
         worst_p99_latency: 0,
         worst_mean_latency: 0.0,
@@ -628,6 +768,9 @@ fn aggregate(results: &[ScenarioResult]) -> CampaignAggregate {
         a.total_dropped += r.dropped;
         a.total_dropped_arbitration += r.dropped_arbitration;
         a.total_dropped_backpressure += r.dropped_backpressure;
+        a.total_dropped_fault += r.dropped_fault;
+        a.total_unroutable_drops += r.unroutable_drops;
+        a.total_delivered_despite_fault += r.delivered_despite_fault;
         a.mean_throughput += r.throughput;
         a.worst_p99_latency = a.worst_p99_latency.max(r.p99_latency);
         a.worst_mean_latency = a.worst_mean_latency.max(r.mean_latency);
@@ -695,6 +838,81 @@ mod tests {
         // The load changes only after the whole buffer × replication block.
         assert_eq!(scenarios[0].offered_load, scenarios[5].offered_load);
         assert_ne!(scenarios[0].offered_load, scenarios[6].offered_load);
+    }
+
+    #[test]
+    fn fault_plans_are_a_grid_axis_between_buffer_modes_and_replications() {
+        let one_link = FaultPlan::none().with_dead_link(0, 1, 1, 0);
+        let cfg = tiny()
+            .with_buffer_modes(vec![BufferMode::Unbuffered, worm()])
+            .with_fault_plans(vec![FaultPlan::none(), one_link.clone()])
+            .with_replications(2);
+        let scenarios = cfg.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 6 * 2 * 2 * 2 * 2 * 2);
+        assert_eq!(scenarios.len(), cfg.scenario_count());
+        // Replication innermost, then the fault plan, then the buffer mode.
+        assert_eq!(scenarios[0].fault_plan, FaultPlan::none());
+        assert_eq!(scenarios[1].fault_plan, FaultPlan::none());
+        assert_eq!(scenarios[2].fault_plan, one_link);
+        assert_eq!(scenarios[3].replication, 1);
+        assert_eq!(scenarios[0].buffer_mode, scenarios[3].buffer_mode);
+        assert_ne!(scenarios[0].buffer_mode, scenarios[4].buffer_mode);
+    }
+
+    #[test]
+    fn an_explicit_fault_free_axis_is_byte_identical_to_the_default() {
+        let cfg = tiny();
+        let explicit = tiny().with_fault_plans(vec![FaultPlan::none()]);
+        let a = run_campaign(&cfg, 2).unwrap();
+        let b = run_campaign(&explicit, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn fault_campaigns_report_reliability_and_stay_thread_invariant() {
+        let cfg = tiny().with_loads(vec![0.8]).with_fault_plans(vec![
+            FaultPlan::none(),
+            FaultPlan::none().with_dead_link(1, 0, 1, 0),
+        ]);
+        let one = run_campaign(&cfg, 1).unwrap();
+        let many = run_campaign(&cfg, 5).unwrap();
+        assert_eq!(one.to_json(), many.to_json());
+        assert_eq!(one.fault_plans, cfg.fault_plans);
+        assert!(one.aggregate.total_unroutable_drops > 0);
+        assert!(one.aggregate.total_delivered_despite_fault > 0);
+        for r in &one.scenarios {
+            assert_eq!(r.injected, r.delivered + r.dropped + r.in_flight);
+            if r.scenario.fault_plan.is_empty() {
+                assert_eq!(r.unroutable_drops, 0);
+                assert!(r.path_diversity.is_empty());
+            } else {
+                // Banyan fabrics: every pair has exactly one disjoint path.
+                let cells = 1u64 << (r.scenario.stages - 1);
+                assert_eq!(r.path_diversity, vec![0, cells * cells]);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plans_that_do_not_fit_a_grid_cell_are_rejected() {
+        // Stage 3 links exist at n=4 but not in the n=3 cells of the grid.
+        let cfg = tiny().with_fault_plans(vec![FaultPlan::none().with_dead_link(3, 0, 0, 0)]);
+        assert_eq!(
+            cfg.scenarios().unwrap_err(),
+            CampaignError::InvalidFaultPlan {
+                plan: 0,
+                stages: 3,
+                error: crate::fault::FaultError::LinkStageOutOfRange {
+                    stage: 3,
+                    connections: 2
+                }
+            }
+        );
+        assert_eq!(
+            tiny().with_fault_plans(vec![]).scenarios().unwrap_err(),
+            CampaignError::EmptyAxis("fault_plans")
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::fault::FaultPlan;
 use crate::traffic::TrafficPattern;
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +125,10 @@ pub struct SimConfig {
     pub warmup: u64,
     /// PRNG seed (the simulation is fully deterministic given the seed).
     pub seed: u64,
+    /// Failures injected into the run ([`FaultPlan::none`] = healthy
+    /// fabric; the empty plan runs the exact fault-free code path). Fault
+    /// sites are validated against the fabric at simulator construction.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -135,6 +140,7 @@ impl Default for SimConfig {
             cycles: 1_000,
             warmup: 100,
             seed: 0x1988,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -188,6 +194,12 @@ impl SimConfig {
     /// Builder-style setter for the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }

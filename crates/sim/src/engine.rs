@@ -23,6 +23,7 @@
 
 use crate::config::{ConfigError, SimConfig};
 use crate::fabric::{Fabric, FabricError};
+use crate::fault::{FaultError, FaultRuntime, FaultView};
 use crate::metrics::Metrics;
 use crate::packet::Packet;
 use crate::switch::{build_core, SwitchCore};
@@ -38,6 +39,8 @@ pub enum SimError {
     Config(ConfigError),
     /// The network cannot be simulated.
     Fabric(FabricError),
+    /// The fault plan names a site outside the fabric.
+    Fault(FaultError),
 }
 
 impl std::fmt::Display for SimError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "invalid simulation config: {e}"),
             SimError::Fabric(e) => write!(f, "unsimulatable network: {e}"),
+            SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -63,6 +67,12 @@ impl From<FabricError> for SimError {
     }
 }
 
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
 /// A running simulation.
 #[derive(Debug)]
 pub struct Simulator {
@@ -70,6 +80,9 @@ pub struct Simulator {
     config: SimConfig,
     rng: ChaCha8Rng,
     core: Box<dyn SwitchCore>,
+    /// Fault machinery, present only for a non-empty [`SimConfig::fault_plan`]
+    /// — `None` runs the exact fault-free code path.
+    faults: Option<FaultRuntime>,
     cycle: u64,
     next_packet_id: u64,
     metrics: Metrics,
@@ -78,18 +91,32 @@ pub struct Simulator {
 impl Simulator {
     /// Builds a simulator for the given network and configuration. The
     /// configuration is validated first, so an out-of-range load, an
-    /// all-warm-up cycle budget or a zero lane/depth parameter is a typed
-    /// error here rather than a panic or silent misbehaviour mid-run.
+    /// all-warm-up cycle budget, a zero lane/depth parameter or a fault
+    /// site outside the fabric is a typed error here rather than a panic
+    /// or silent misbehaviour mid-run.
     pub fn new(net: ConnectionNetwork, config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
         let fabric = Fabric::new(net)?;
         let core = build_core(config.buffer_mode, fabric.stages(), fabric.cells());
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let faults = if config.fault_plan.is_empty() {
+            None
+        } else {
+            config
+                .fault_plan
+                .validate(fabric.stages(), fabric.cells())?;
+            Some(FaultRuntime::new(
+                &config.fault_plan,
+                fabric.stages(),
+                fabric.cells(),
+            ))
+        };
         Ok(Simulator {
             fabric,
             config,
             rng,
             core,
+            faults,
             cycle: 0,
             next_packet_id: 0,
             metrics: Metrics::default(),
@@ -116,11 +143,28 @@ impl Simulator {
         self.core.in_flight()
     }
 
+    /// Number of (source, destination) cell pairs currently severed by
+    /// active faults (0 for a healthy fabric or before any onset).
+    pub fn severed_pairs(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultRuntime::severed_pairs)
+    }
+
     /// Runs one cycle.
     pub fn step(&mut self) {
+        // Phase 0: cross any fault-onset boundary (recomputes the
+        // per-pair reroute table; a cheap no-op on every other cycle).
+        if let Some(rt) = self.faults.as_mut() {
+            rt.advance(self.fabric.network(), self.cycle);
+        }
+        let faults = match self.faults.as_ref() {
+            Some(rt) => FaultView::at(&rt.state, self.cycle),
+            None => FaultView::healthy(self.cycle),
+        };
+
         // Phase 1: delivery at the last stage.
         self.core.deliver(
             &self.fabric,
+            &faults,
             self.cycle,
             self.config.warmup,
             &mut self.metrics,
@@ -128,7 +172,7 @@ impl Simulator {
 
         // Phase 2: switching, from the next-to-last stage back to the first.
         self.core
-            .switch(&self.fabric, &mut self.rng, &mut self.metrics);
+            .switch(&self.fabric, &faults, &mut self.rng, &mut self.metrics);
 
         // Phase 3: injection at the first stage (two terminals per cell).
         let width_bits = self.fabric.network().width();
@@ -149,11 +193,24 @@ impl Simulator {
                     width_bits,
                     &mut self.rng,
                 );
+                // Under faults the tag comes from the pair's surviving path
+                // (destination-tag reroute); a severed pair refuses the
+                // packet at the source instead of losing it inside.
+                let tag = match self.faults.as_ref() {
+                    Some(rt) => match rt.pair_tag(cell, destination as usize) {
+                        Some(tag) => tag,
+                        None => {
+                            self.metrics.unroutable_drops += 1;
+                            continue;
+                        }
+                    },
+                    None => self.fabric.tag_for(destination),
+                };
                 let packet = Packet {
                     id: self.next_packet_id,
                     source: cell as u32,
                     destination,
-                    tag: self.fabric.tag_for(destination),
+                    tag,
                     injected_at: self.cycle,
                 };
                 self.next_packet_id += 1;
@@ -370,6 +427,145 @@ mod tests {
         for (cfg, expected) in cases {
             assert_eq!(Simulator::new(omega(3), cfg).unwrap_err(), expected);
         }
+    }
+
+    #[test]
+    fn a_dormant_fault_plan_is_bit_identical_to_no_plan() {
+        // A plan whose every onset lies beyond the run exercises the whole
+        // fault machinery (runtime, pair table, per-cycle views) without a
+        // single active fault — the metrics must be bit-identical to the
+        // plain fault-free engine, in every buffer mode.
+        use crate::fault::FaultPlan;
+        let dormant = FaultPlan::none()
+            .with_dead_link(1, 0, 1, 10_000)
+            .with_dead_switch(2, 1, 10_000)
+            .with_degraded_link(0, 2, 0, 10_000);
+        for mode in [
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            wormhole(2, 2, 3),
+        ] {
+            let cfg = quick_config().with_load(0.9).with_buffer(mode);
+            let clean = simulate(omega(4), cfg.clone()).unwrap();
+            let pinned = simulate(omega(4), cfg.with_faults(dormant.clone())).unwrap();
+            assert_eq!(clean, pinned, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn a_dead_link_severs_pairs_and_costs_delivery() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none().with_dead_link(1, 0, 1, 0);
+        for mode in [
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            wormhole(2, 2, 3),
+        ] {
+            let cfg = quick_config().with_load(0.8).with_buffer(mode);
+            let clean = simulate(omega(4), cfg.clone()).unwrap();
+            let faulty = simulate(omega(4), cfg.with_faults(plan.clone())).unwrap();
+            assert!(
+                faulty.delivered <= clean.delivered,
+                "mode {mode:?}: {} > {}",
+                faulty.delivered,
+                clean.delivered
+            );
+            assert!(faulty.unroutable_drops > 0, "mode {mode:?}");
+            assert_eq!(faulty.misrouted, 0, "reroute never misroutes");
+            // Static fault + source-side refusal: nothing is lost in flight.
+            assert_eq!(faulty.dropped_fault, 0, "mode {mode:?}");
+            assert_eq!(
+                faulty.injected,
+                faulty.delivered + faulty.dropped() + faulty.in_flight_at_end,
+                "conservation, mode {mode:?}"
+            );
+            assert!(faulty.delivered_despite_fault > 0);
+        }
+    }
+
+    #[test]
+    fn a_mid_run_switch_death_kills_traffic_in_flight() {
+        use crate::fault::FaultPlan;
+        let onset = 200;
+        let plan = FaultPlan::none().with_dead_switch(1, 0, onset);
+        for mode in [
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            wormhole(2, 2, 3),
+        ] {
+            let cfg = quick_config().with_load(1.0).with_buffer(mode);
+            let m = simulate(omega(4), cfg.with_faults(plan.clone())).unwrap();
+            assert!(
+                m.dropped_fault > 0,
+                "mode {mode:?}: traffic inside (or headed into) the dying \
+                 switch must be lost"
+            );
+            assert!(m.unroutable_drops > 0, "post-onset refusals");
+            assert!(m.total_fault_exposure() > 0);
+            assert!(
+                m.fault_exposure.iter().take(2).any(|&c| c > 0),
+                "exposure concentrates at or before the dead switch's stage: {:?}",
+                m.fault_exposure
+            );
+            assert_eq!(
+                m.injected,
+                m.delivered + m.dropped() + m.in_flight_at_end,
+                "conservation, mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_degraded_link_throttles_but_severs_nothing() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none().with_degraded_link(1, 0, 0, 0);
+        for mode in [BufferMode::Fifo(4), wormhole(2, 2, 3)] {
+            let cfg = quick_config().with_load(0.9).with_buffer(mode);
+            let clean = simulate(omega(4), cfg.clone()).unwrap();
+            let throttled = simulate(omega(4), cfg.with_faults(plan.clone())).unwrap();
+            assert_eq!(throttled.unroutable_drops, 0, "mode {mode:?}");
+            assert_eq!(throttled.dropped_fault, 0, "buffered cores hold, not drop");
+            assert!(throttled.delivered <= clean.delivered, "mode {mode:?}");
+            assert!(throttled.total_fault_exposure() > 0, "stalls are recorded");
+            assert_eq!(
+                throttled.delivered_despite_fault, throttled.delivered,
+                "every delivery happened on a degraded fabric"
+            );
+        }
+        // The unbuffered core has nowhere to hold a throttled packet.
+        let m = simulate(omega(4), quick_config().with_load(0.9).with_faults(plan)).unwrap();
+        assert!(m.dropped_fault > 0);
+    }
+
+    #[test]
+    fn fault_sites_outside_the_fabric_are_typed_errors() {
+        use crate::fault::{FaultError, FaultPlan};
+        let cfg = quick_config().with_faults(FaultPlan::none().with_dead_link(9, 0, 0, 0));
+        assert_eq!(
+            Simulator::new(omega(4), cfg).unwrap_err(),
+            SimError::Fault(FaultError::LinkStageOutOfRange {
+                stage: 9,
+                connections: 3
+            })
+        );
+    }
+
+    #[test]
+    fn severed_pair_count_matches_the_banyan_link_load() {
+        // Any single link of a Banyan fabric carries exactly cells/2
+        // (source, destination) pairs.
+        use crate::fault::FaultPlan;
+        for n in 3..=5 {
+            let cfg = quick_config().with_faults(FaultPlan::none().with_dead_link(1, 0, 1, 0));
+            let mut sim = Simulator::new(omega(n), cfg).unwrap();
+            sim.step();
+            let cells = sim.fabric().cells() as u64;
+            assert_eq!(sim.severed_pairs(), cells / 2, "omega n={n}");
+        }
+        // Healthy simulators sever nothing.
+        let mut sim = Simulator::new(omega(3), quick_config()).unwrap();
+        sim.step();
+        assert_eq!(sim.severed_pairs(), 0);
     }
 
     #[test]

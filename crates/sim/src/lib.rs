@@ -26,11 +26,16 @@
 //!   saturation curves, latency mean and tail (histogram-backed
 //!   percentiles), plus a conservation audit (injected = delivered +
 //!   dropped + in flight) used by the property tests;
+//! * fault injection ([`fault`]) — deterministic [`fault::FaultPlan`]s of
+//!   dead switches, dead links and degraded lanes with static or
+//!   mid-simulation onset, driving disjoint-path fault-tolerant rerouting
+//!   (via `min-routing`) and reliability metrics (fault drops, unroutable
+//!   refusals, per-stage exposure);
 //! * campaigns ([`campaign`]) — declarative simulation grids (catalog cell ×
-//!   traffic × load × buffer mode × replication) expanded into a work queue
-//!   and fanned out across scoped threads, with per-scenario seeds derived
-//!   from the campaign seed so reports are bitwise reproducible at any
-//!   thread count.
+//!   traffic × load × buffer mode × fault plan × replication) expanded into
+//!   a work queue and fanned out across scoped threads, with per-scenario
+//!   seeds derived from the campaign seed so reports are bitwise
+//!   reproducible at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +44,7 @@ pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod fabric;
+pub mod fault;
 pub mod metrics;
 pub mod packet;
 pub mod switch;
@@ -47,6 +53,7 @@ pub mod traffic;
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Scenario, ScenarioResult};
 pub use config::{BufferMode, ConfigError, SimConfig};
 pub use engine::{simulate, SimError, Simulator};
+pub use fault::{Fault, FaultError, FaultKind, FaultPlan, FaultView, LinkStatus};
 pub use metrics::Metrics;
 pub use packet::{Flit, Packet};
 pub use switch::{FifoCore, RingArena, SwitchCore, UnbufferedCore, WormholeCore};

@@ -21,6 +21,21 @@ pub struct Metrics {
     /// Packets dropped because the downstream cell had no space (unbuffered
     /// mode only; buffered modes apply backpressure instead).
     pub dropped_backpressure: u64,
+    /// Packets (or whole worms) lost to an injected fault: they hit a dead
+    /// link, entered a dead switch, or were caught in one when it died.
+    pub dropped_fault: u64,
+    /// Injection attempts refused because every path from the source to the
+    /// drawn destination was severed by active faults (the packet never
+    /// entered the fabric; counted in `offered` but not in `injected`).
+    pub unroutable_drops: u64,
+    /// Packets delivered while at least one fault was active — the
+    /// survivor count of a degraded fabric.
+    pub delivered_despite_fault: u64,
+    /// Per-stage fault exposure: `fault_exposure[s]` counts the events at
+    /// stage `s` in which traffic met an active fault (a drop at a dead
+    /// link or switch, or a stall at a degraded link). Empty when the run
+    /// injected no faults.
+    pub fault_exposure: Vec<u64>,
     /// Packets still inside the fabric when the run ended.
     pub in_flight_at_end: u64,
     /// Sum of the latencies (in cycles) of the packets delivered inside the
@@ -54,10 +69,10 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Total packets dropped, summing both causes (arbitration losses and
-    /// downstream backpressure).
+    /// Total packets dropped, summing every cause (arbitration losses,
+    /// downstream backpressure, and fault losses).
     pub fn dropped(&self) -> u64 {
-        self.dropped_arbitration + self.dropped_backpressure
+        self.dropped_arbitration + self.dropped_backpressure + self.dropped_fault
     }
 
     /// Delivered packets per port per cycle.
@@ -142,6 +157,21 @@ impl Metrics {
             self.latency_histogram.resize(idx + 1, 0);
         }
         self.latency_histogram[idx] += 1;
+    }
+
+    /// Records one fault-exposure event at `stage` (a drop at a dead
+    /// component or a stall at a degraded link), growing the per-stage
+    /// vector on demand.
+    pub fn record_fault_exposure(&mut self, stage: usize) {
+        if stage >= self.fault_exposure.len() {
+            self.fault_exposure.resize(stage + 1, 0);
+        }
+        self.fault_exposure[stage] += 1;
+    }
+
+    /// Total fault-exposure events across every stage.
+    pub fn total_fault_exposure(&self) -> u64 {
+        self.fault_exposure.iter().sum()
     }
 
     /// Latency at the given percentile (`p` in `[0, 100]`), in cycles,
@@ -232,6 +262,25 @@ mod tests {
         };
         assert!((m.flit_throughput(8) - 0.5).abs() < 1e-12);
         assert!((m.mean_lane_occupancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_feed_the_drop_total_and_exposure_histogram() {
+        let mut m = Metrics {
+            dropped_arbitration: 3,
+            dropped_backpressure: 2,
+            dropped_fault: 5,
+            unroutable_drops: 7,
+            delivered_despite_fault: 11,
+            ..Metrics::default()
+        };
+        assert_eq!(m.dropped(), 10);
+        assert_eq!(m.total_fault_exposure(), 0);
+        m.record_fault_exposure(2);
+        m.record_fault_exposure(2);
+        m.record_fault_exposure(0);
+        assert_eq!(m.fault_exposure, vec![1, 0, 2]);
+        assert_eq!(m.total_fault_exposure(), 3);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::config::BufferMode;
 use crate::fabric::Fabric;
+use crate::fault::{FaultView, LinkStatus};
 use crate::metrics::Metrics;
 use crate::packet::{Flit, Packet};
 use rand::Rng;
@@ -47,13 +48,30 @@ use rand_chacha::ChaCha8Rng;
 /// [`occupancy`]: SwitchCore::occupancy
 pub trait SwitchCore: std::fmt::Debug + Send {
     /// Phase 1 — drain everything deliverable at the last stage, recording
-    /// deliveries, misroutes and (post-warm-up) latencies.
-    fn deliver(&mut self, fabric: &Fabric, cycle: u64, warmup: u64, metrics: &mut Metrics);
+    /// deliveries, misroutes and (post-warm-up) latencies. Traffic sitting
+    /// in a dead last-stage switch is lost instead (`faults`).
+    fn deliver(
+        &mut self,
+        fabric: &Fabric,
+        faults: &FaultView<'_>,
+        cycle: u64,
+        warmup: u64,
+        metrics: &mut Metrics,
+    );
 
     /// Phase 2 — move packets (or flits) one stage forward, from the
     /// next-to-last stage back to the first so that space freed in a stage
-    /// is visible to the stage behind it within the same cycle.
-    fn switch(&mut self, fabric: &Fabric, rng: &mut ChaCha8Rng, metrics: &mut Metrics);
+    /// is visible to the stage behind it within the same cycle. `faults`
+    /// supplies the cycle's dead/degraded components: traffic that must
+    /// cross a dead link (or enter a dead switch) is dropped as a fault
+    /// loss, and degraded links carry traffic on even cycles only.
+    fn switch(
+        &mut self,
+        fabric: &Fabric,
+        faults: &FaultView<'_>,
+        rng: &mut ChaCha8Rng,
+        metrics: &mut Metrics,
+    );
 
     /// Whether first-stage cell `cell` can accept one more packet right now.
     fn can_accept(&self, cell: usize) -> bool;
@@ -216,11 +234,23 @@ impl PacketQueues {
         stage * self.cells + cell
     }
 
-    fn deliver(&mut self, cycle: u64, warmup: u64, metrics: &mut Metrics) {
+    fn deliver(&mut self, faults: &FaultView<'_>, cycle: u64, warmup: u64, metrics: &mut Metrics) {
+        let last = self.stages - 1;
+        let degraded = faults.any_active();
         for cell in 0..self.cells {
-            let r = self.ring(self.stages - 1, cell);
+            let r = self.ring(last, cell);
+            if faults.cell_dead(last, cell) {
+                while self.arena.pop_front(r).is_some() {
+                    metrics.dropped_fault += 1;
+                    metrics.record_fault_exposure(last);
+                }
+                continue;
+            }
             while let Some(p) = self.arena.pop_front(r) {
                 metrics.delivered += 1;
+                if degraded {
+                    metrics.delivered_despite_fault += 1;
+                }
                 if p.destination as usize != cell {
                     metrics.misrouted += 1;
                 }
@@ -237,6 +267,7 @@ impl PacketQueues {
     fn switch(
         &mut self,
         fabric: &Fabric,
+        faults: &FaultView<'_>,
         rng: &mut ChaCha8Rng,
         metrics: &mut Metrics,
         unbuffered: bool,
@@ -244,6 +275,14 @@ impl PacketQueues {
         for s in (0..self.stages - 1).rev() {
             for cell in 0..self.cells {
                 let r = self.ring(s, cell);
+                // A switch that died takes its queued traffic with it.
+                if faults.cell_dead(s, cell) {
+                    while self.arena.pop_front(r).is_some() {
+                        metrics.dropped_fault += 1;
+                        metrics.record_fault_exposure(s);
+                    }
+                    continue;
+                }
                 // A 2x2 cell forwards at most one packet per out-port per
                 // cycle; only the two packets at the head of the queue are
                 // considered this cycle (FIFO order preserved).
@@ -280,7 +319,34 @@ impl PacketQueues {
                         }
                         continue;
                     }
+                    match faults.link_status(s, cell, port) {
+                        LinkStatus::Down => {
+                            // The packet's next hop is gone: it is lost in
+                            // flight.
+                            metrics.dropped_fault += 1;
+                            metrics.record_fault_exposure(s);
+                            continue;
+                        }
+                        LinkStatus::Throttled => {
+                            // Half-bandwidth link on an off cycle: wait if
+                            // the core can hold the packet, lose it if not.
+                            metrics.record_fault_exposure(s);
+                            if unbuffered {
+                                metrics.dropped_fault += 1;
+                            } else {
+                                retained[retained_count] = packet;
+                                retained_count += 1;
+                            }
+                            continue;
+                        }
+                        LinkStatus::Up => {}
+                    }
                     let next = fabric.next_cell(s, cell as u32, port as u8) as usize;
+                    if faults.cell_dead(s + 1, next) {
+                        metrics.dropped_fault += 1;
+                        metrics.record_fault_exposure(s);
+                        continue;
+                    }
                     let nr = self.ring(s + 1, next);
                     if self.arena.len(nr) < self.capacity {
                         port_used[port] = true;
@@ -354,12 +420,25 @@ impl PacketCore<false> {
 }
 
 impl<const UNBUFFERED: bool> SwitchCore for PacketCore<UNBUFFERED> {
-    fn deliver(&mut self, _fabric: &Fabric, cycle: u64, warmup: u64, metrics: &mut Metrics) {
-        self.queues.deliver(cycle, warmup, metrics);
+    fn deliver(
+        &mut self,
+        _fabric: &Fabric,
+        faults: &FaultView<'_>,
+        cycle: u64,
+        warmup: u64,
+        metrics: &mut Metrics,
+    ) {
+        self.queues.deliver(faults, cycle, warmup, metrics);
     }
 
-    fn switch(&mut self, fabric: &Fabric, rng: &mut ChaCha8Rng, metrics: &mut Metrics) {
-        self.queues.switch(fabric, rng, metrics, UNBUFFERED);
+    fn switch(
+        &mut self,
+        fabric: &Fabric,
+        faults: &FaultView<'_>,
+        rng: &mut ChaCha8Rng,
+        metrics: &mut Metrics,
+    ) {
+        self.queues.switch(fabric, faults, rng, metrics, UNBUFFERED);
     }
 
     fn can_accept(&self, cell: usize) -> bool {
@@ -508,16 +587,55 @@ impl WormholeCore {
         }
         true
     }
+
+    /// Kills the worm with packet id `id` outright: every lane it holds (in
+    /// any stage, including flits already forwarded past the fault and the
+    /// source staging remainder) is drained and freed. One fault loss is
+    /// recorded at `stage`.
+    fn kill_worm(&mut self, id: u64, stage: usize, metrics: &mut Metrics) {
+        for li in 0..self.lane.len() {
+            if self.lane[li].active && self.lane[li].packet.id == id {
+                while self.flits.pop_front(li).is_some() {}
+                self.lane[li] = LaneState::default();
+            }
+        }
+        self.in_flight -= 1;
+        metrics.dropped_fault += 1;
+        metrics.record_fault_exposure(stage);
+    }
+
+    /// Kills every worm holding a lane at `(stage, cell)` — the cell died.
+    fn kill_worms_at(&mut self, stage: usize, cell: usize, metrics: &mut Metrics) {
+        for l in 0..self.lanes_per_cell {
+            let li = self.lane_index(stage, cell, l);
+            if self.lane[li].active {
+                let id = self.lane[li].packet.id;
+                self.kill_worm(id, stage, metrics);
+            }
+        }
+    }
 }
 
 impl SwitchCore for WormholeCore {
-    fn deliver(&mut self, _fabric: &Fabric, cycle: u64, warmup: u64, metrics: &mut Metrics) {
+    fn deliver(
+        &mut self,
+        _fabric: &Fabric,
+        faults: &FaultView<'_>,
+        cycle: u64,
+        warmup: u64,
+        metrics: &mut Metrics,
+    ) {
         // A last-stage cell has two output terminals, so it ejects at most
         // two flits per cycle (one per ejection link, matching the
         // one-flit-per-link discipline of the interior stages). Lanes take
         // the ejection links round-robin — the scan start rotates with the
         // cycle — and a worm is delivered when its tail flit leaves.
+        let degraded = faults.any_active();
         for cell in 0..self.cells {
+            if degraded && faults.cell_dead(self.stages - 1, cell) {
+                self.kill_worms_at(self.stages - 1, cell, metrics);
+                continue;
+            }
             let mut eject_budget = 2u32;
             let start = (cycle as usize) % self.lanes_per_cell;
             for k in 0..self.lanes_per_cell {
@@ -535,6 +653,9 @@ impl SwitchCore for WormholeCore {
                     if flit.is_tail() {
                         let p = self.lane[li].packet;
                         metrics.delivered += 1;
+                        if degraded {
+                            metrics.delivered_despite_fault += 1;
+                        }
                         if p.destination as usize != cell {
                             metrics.misrouted += 1;
                         }
@@ -549,14 +670,26 @@ impl SwitchCore for WormholeCore {
         }
     }
 
-    fn switch(&mut self, fabric: &Fabric, rng: &mut ChaCha8Rng, metrics: &mut Metrics) {
+    fn switch(
+        &mut self,
+        fabric: &Fabric,
+        faults: &FaultView<'_>,
+        rng: &mut ChaCha8Rng,
+        metrics: &mut Metrics,
+    ) {
         // Per cell, lanes with a flit ready to cross this stage's link,
         // grouped by the out-port their worm's routing tag requests. The
         // scratch buffers live on the core so steady-state switching stays
-        // allocation-free.
+        // allocation-free. The fault checks are gated on `faulty` so the
+        // healthy hot path is untouched.
+        let faulty = faults.any_active();
         let mut want = std::mem::take(&mut self.want_scratch);
         for s in (0..self.stages - 1).rev() {
             for cell in 0..self.cells {
+                if faulty && faults.cell_dead(s, cell) {
+                    self.kill_worms_at(s, cell, metrics);
+                    continue;
+                }
                 want[0].clear();
                 want[1].clear();
                 for l in 0..self.lanes_per_cell {
@@ -570,6 +703,30 @@ impl SwitchCore for WormholeCore {
                     let candidates = std::mem::take(&mut want[port]);
                     if candidates.is_empty() {
                         continue;
+                    }
+                    if faulty {
+                        let next = fabric.next_cell(s, cell as u32, port as u8) as usize;
+                        let status = faults.link_status(s, cell, port);
+                        if status == LinkStatus::Down || faults.cell_dead(s + 1, next) {
+                            // The link (or the switch behind it) is gone:
+                            // every worm routed through it dies in place.
+                            for &li in &candidates {
+                                let id = self.lane[li].packet.id;
+                                self.kill_worm(id, s, metrics);
+                            }
+                            want[port] = candidates;
+                            continue;
+                        }
+                        if status == LinkStatus::Throttled {
+                            // Off cycle of a half-bandwidth link: everyone
+                            // holds their lanes and waits.
+                            for _ in &candidates {
+                                metrics.flit_stalls += 1;
+                                metrics.record_fault_exposure(s);
+                            }
+                            want[port] = candidates;
+                            continue;
+                        }
                     }
                     // Fair arbitration: a uniformly chosen winner gets the
                     // port; if it cannot actually move (no free downstream

@@ -1,0 +1,110 @@
+//! Fault-injection sweep over the classical catalog.
+//!
+//! Expands a campaign grid — every classical family at n = 3..=max ×
+//! uniform traffic × two offered loads × three buffer architectures × four
+//! fault plans (healthy, one dead link, a seeded 2-link plan, and a
+//! mid-simulation switch death with a degraded lane) — runs it across
+//! worker threads, prints the per-scenario table with the reliability
+//! columns, and writes the machine-readable report to
+//! `fault_campaign.json`. The same `--seed` yields a byte-identical report
+//! at any `--threads` value (the CI fault-smoke job `cmp`s a single-thread
+//! rerun against the parallel one).
+//!
+//! ```text
+//! cargo run --release --example fault_sweep \
+//!     [-- --threads <T>] [--seed <S>] [--max-stages <B>] \
+//!     [--cycles <C>] [--out <path>]
+//! ```
+
+use baseline_equivalence::prelude::{run_campaign, BufferMode, CampaignConfig, FaultPlan};
+use min_sim::TrafficPattern;
+
+fn main() {
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut seed = 0x1988u64;
+    let mut max_stages = 4usize;
+    let mut cycles = 400u64;
+    let mut out_path = String::from("fault_campaign.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned();
+        let parse =
+            |what: &str, v: Option<String>| v.unwrap_or_else(|| panic!("missing value for {what}"));
+        match args[i].as_str() {
+            "--threads" => threads = parse("--threads", value).parse().expect("thread count"),
+            "--seed" => seed = parse("--seed", value).parse().expect("seed"),
+            "--max-stages" => max_stages = parse("--max-stages", value).parse().expect("stages"),
+            "--cycles" => cycles = parse("--cycles", value).parse().expect("cycles"),
+            "--out" => out_path = parse("--out", value),
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 2;
+    }
+
+    // Fault sites are chosen inside the smallest grid fabric (n = 3:
+    // 3 stages × 4 cells) so every plan fits every grid cell.
+    let fault_plans = vec![
+        FaultPlan::none(),
+        FaultPlan::none().with_dead_link(1, 0, 1, 0),
+        FaultPlan::random_links(seed ^ 0xFA17, 2, 3, 4),
+        FaultPlan::none()
+            .with_dead_switch(1, 1, cycles / 2)
+            .with_degraded_link(0, 0, 0, 0),
+    ];
+
+    let config = CampaignConfig::over_catalog(3..=max_stages)
+        .with_seed(seed)
+        .with_traffic(vec![TrafficPattern::Uniform])
+        .with_loads(vec![0.4, 0.9])
+        .with_buffer_modes(vec![
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            BufferMode::Wormhole {
+                lanes: 2,
+                lane_depth: 4,
+                flits_per_packet: 4,
+            },
+        ])
+        .with_fault_plans(fault_plans)
+        .with_cycles(cycles, cycles / 10);
+
+    println!(
+        "== Fault campaign: {} catalog cells × {} loads × {} buffer modes × {} fault plans = {} scenarios (seed {seed:#x}) ==\n",
+        config.cells.len(),
+        config.loads.len(),
+        config.buffer_modes.len(),
+        config.fault_plans.len(),
+        config.scenario_count(),
+    );
+
+    let started = std::time::Instant::now();
+    let report = match run_campaign(&config, threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fault campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    print!("{}", report.summary_table());
+    let a = &report.aggregate;
+    println!(
+        "\nreliability: {} delivered despite faults · {} fault drops · {} unroutable refusals",
+        a.total_delivered_despite_fault, a.total_dropped_fault, a.total_unroutable_drops
+    );
+    println!(
+        "completed in {:.2?} with {} worker thread(s) requested",
+        elapsed,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+
+    std::fs::write(&out_path, report.to_json()).expect("write fault campaign report");
+    println!("report written to {out_path}");
+}

@@ -11,9 +11,13 @@ the vendored criterion's JSON lines::
 
 The script writes a GitHub-flavoured markdown table to stdout (pipe it into
 ``$GITHUB_STEP_SUMMARY``) and emits a ``::warning`` workflow annotation for
-every benchmark whose median regressed by more than REGRESSION_PCT. It never
-exits nonzero and never fails the job: bench-smoke machines are shared
-runners, so deltas are advisory trend data, not gates.
+every benchmark whose median regressed by more than REGRESSION_PCT.
+Regression warnings are advisory and never fail the job (bench-smoke
+machines are shared runners). **Malformed input is a hard error**, though:
+a JSON line that does not parse, or parses without a usable ``name`` /
+``median_ns``, exits nonzero instead of silently rendering an empty table —
+an empty table caused by a corrupt artifact must not masquerade as "no
+benchmarks ran". A missing PREVIOUS artifact stays fine (first run).
 """
 
 import json
@@ -24,8 +28,16 @@ import sys
 REGRESSION_PCT = 25.0
 
 
+class MalformedInput(Exception):
+    """A benchmark-median file held a line the parser cannot use."""
+
+
 def load_medians(path: pathlib.Path) -> dict:
-    """name -> median_ns from one file or every BENCH_*.json under a dir."""
+    """name -> median_ns from one file or every BENCH_*.json under a dir.
+
+    Raises MalformedInput on the first unparsable or key-incomplete line.
+    A nonexistent path yields an empty dict (no artifact — not an error).
+    """
     files = [path]
     if path.is_dir():
         files = sorted(path.rglob("BENCH_*.json"))
@@ -35,19 +47,20 @@ def load_medians(path: pathlib.Path) -> dict:
             lines = f.read_text().splitlines()
         except OSError:
             continue
-        for line in lines:
+        for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 row = json.loads(line)
+                name = row["name"]
                 median = float(row["median_ns"])
-            except (ValueError, KeyError, TypeError):
-                continue
+            except (ValueError, KeyError, TypeError) as exc:
+                raise MalformedInput(f"{f}:{lineno}: {exc}: {line[:120]!r}") from exc
             # Non-finite or non-positive medians cannot participate in a
             # delta; drop them here so no downstream division can blow up.
             if median > 0.0 and math.isfinite(median):
-                medians[row["name"]] = median
+                medians[name] = median
     return medians
 
 
@@ -61,9 +74,13 @@ def fmt_ns(ns: float) -> str:
 def main() -> int:
     if len(sys.argv) != 3:
         print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
-        return 0
-    previous = load_medians(pathlib.Path(sys.argv[1]))
-    current = load_medians(pathlib.Path(sys.argv[2]))
+        return 2
+    try:
+        previous = load_medians(pathlib.Path(sys.argv[1]))
+        current = load_medians(pathlib.Path(sys.argv[2]))
+    except MalformedInput as exc:
+        print(f"error: malformed benchmark medians: {exc}", file=sys.stderr)
+        return 1
 
     print("## Bench medians vs. previous run\n")
     if not current:

@@ -17,11 +17,13 @@
 //!   delta properties, and the equivalence-classification campaign engine;
 //! * [`networks`] (`min-networks`) — the six classical networks, builders,
 //!   random generators and counterexamples;
-//! * [`routing`] (`min-routing`) — destination-tag routing and permutation
-//!   admissibility analysis;
+//! * [`routing`] (`min-routing`) — destination-tag routing, permutation
+//!   admissibility analysis, and link-disjoint-path fault-tolerant
+//!   rerouting;
 //! * [`sim`] (`min-sim`) — the cycle-synchronous switch-level simulator
-//!   (arena-backed unbuffered / FIFO / wormhole switching cores) and the
-//!   multi-threaded scenario-campaign runner.
+//!   (arena-backed unbuffered / FIFO / wormhole switching cores), the
+//!   fault-injection subsystem, and the multi-threaded scenario-campaign
+//!   runner.
 //!
 //! ## Quick start
 //!
@@ -61,9 +63,10 @@ pub mod prelude {
     pub use min_graph::MiDigraph;
     pub use min_labels::{BitMatrix, IndexPermutation};
     pub use min_networks::{catalog_grid, ClassicalNetwork, ClassificationGrid, RandomFamily};
+    pub use min_routing::disjoint::{disjoint_paths, route_around, FaultDigest, FaultRoute};
     pub use min_sim::{
-        run_campaign, simulate, BufferMode, CampaignConfig, CampaignReport, SimConfig, Simulator,
-        SwitchCore, TrafficPattern,
+        run_campaign, simulate, BufferMode, CampaignConfig, CampaignReport, FaultKind, FaultPlan,
+        SimConfig, Simulator, SwitchCore, TrafficPattern,
     };
 }
 
