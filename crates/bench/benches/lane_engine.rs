@@ -1,0 +1,87 @@
+//! Bit-parallel replication engine vs. the scalar reference.
+//!
+//! Measures batched replication sweeps of the unbuffered omega network —
+//! the workload the campaign layer hands to `min_sim::batch` — through both
+//! routes: the word-packed `LaneEngine` (64 replications per `u64`) and the
+//! reseeded scalar simulator. The packed/scalar ratio at each replication
+//! count is the headline speedup of the bit-parallel engine; both routes
+//! produce bit-identical metrics (pinned by the packed-oracle tests), so
+//! the comparison is pure throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use min_bench::{configure, BENCH_SEED};
+use min_sim::campaign::scenario_seed;
+use min_sim::lane::{LaneEngine, LANE_WIDTH};
+use min_sim::{SimConfig, Simulator};
+
+const SIM_CYCLES: u64 = 300;
+// A 1024-terminal network: large enough that switching and injection run
+// over tens of kilobytes of packed state per cycle, which is the regime the
+// campaign sweeps live in and where the word-packed engine's advantage is
+// widest.
+const STAGES: usize = 10;
+const REPLICATIONS: &[usize] = &[64, 256, 1024];
+
+fn workload() -> (min_core::ConnectionNetwork, SimConfig) {
+    let net = min_networks::omega(STAGES);
+    let cfg = SimConfig::default()
+        .with_load(0.9)
+        .with_cycles(SIM_CYCLES, 30)
+        .with_seed(BENCH_SEED);
+    (net, cfg)
+}
+
+fn seeds(reps: usize) -> Vec<u64> {
+    (0..reps).map(|i| scenario_seed(BENCH_SEED, i)).collect()
+}
+
+fn bench_lane_engine(c: &mut Criterion) {
+    let (net, cfg) = workload();
+
+    let mut group = c.benchmark_group("lane_engine_packed");
+    for &reps in REPLICATIONS {
+        // One simulated cycle per replication is one element of work, so
+        // packed and scalar throughputs are directly comparable.
+        group.throughput(Throughput::Elements(reps as u64 * SIM_CYCLES));
+        let seeds = seeds(reps);
+        group.bench_with_input(BenchmarkId::new("unbuffered", reps), &seeds, |b, seeds| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(seeds.len());
+                for chunk in seeds.chunks(LANE_WIDTH) {
+                    out.extend(
+                        LaneEngine::new(net.clone(), cfg.clone(), chunk)
+                            .unwrap()
+                            .run(),
+                    );
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lane_engine_scalar");
+    for &reps in REPLICATIONS {
+        group.throughput(Throughput::Elements(reps as u64 * SIM_CYCLES));
+        let seeds = seeds(reps);
+        group.bench_with_input(BenchmarkId::new("unbuffered", reps), &seeds, |b, seeds| {
+            b.iter(|| {
+                let mut sim = Simulator::new(net.clone(), cfg.clone().with_seed(seeds[0])).unwrap();
+                let mut out = Vec::with_capacity(seeds.len());
+                for &seed in seeds {
+                    sim.reseed(seed);
+                    out.push(sim.run());
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = configure(Criterion::default());
+    targets = bench_lane_engine
+}
+criterion_main!(group);

@@ -1,0 +1,171 @@
+//! Batched replications: all runs of one scenario through shared engines.
+//!
+//! The campaign layer replicates every grid point several times under
+//! derived seeds. Building a fresh [`Simulator`] per replication rebuilds
+//! the fabric's routing tables, the switch-core arenas and the fault
+//! machinery each time; this module builds them **once** per scenario and
+//! reruns them:
+//!
+//! * [`run_replications`] is the auto-router. Eligible workloads —
+//!   unbuffered buffer mode with at least [`LANE_THRESHOLD`] replications
+//!   on a fabric of at most [`LANE_MAX_STAGES`] stages — go through the
+//!   word-packed [`LaneEngine`], 64 replications per `u64`. Everything
+//!   else runs the scalar [`Simulator`], reseeded between replications so
+//!   arenas and cached fault-reroute epochs are reused.
+//! * [`run_replications_merged`] additionally folds the per-replication
+//!   metrics with [`Metrics::merge`] for callers that only need the
+//!   aggregate.
+//!
+//! Both paths are bit-identical to building a fresh scalar simulator per
+//! seed — pinned by the packed-oracle proptests and the campaign layer's
+//! byte-for-byte report determinism gate.
+
+use crate::config::{BufferMode, SimConfig};
+use crate::engine::{SimError, Simulator};
+use crate::lane::{LaneEngine, LANE_WIDTH};
+use crate::metrics::Metrics;
+use min_core::ConnectionNetwork;
+
+/// Minimum replication count at which the word-packed engine pays for its
+/// plane setup (below it, the scalar engine's reseed loop is already fast).
+pub const LANE_THRESHOLD: usize = 8;
+
+/// Largest fabric (in stages) the packed engine accepts: bit-plane storage
+/// grows as `stages × cells × (stages + log2 cells)` words, so very deep
+/// fabrics are left to the scalar engine.
+pub const LANE_MAX_STAGES: usize = 12;
+
+/// Whether [`run_replications`] would route this workload through the
+/// word-packed [`LaneEngine`].
+pub fn packed_eligible(config: &SimConfig, stages: usize, replications: usize) -> bool {
+    config.buffer_mode == BufferMode::Unbuffered
+        && replications >= LANE_THRESHOLD
+        && (2..=LANE_MAX_STAGES).contains(&stages)
+}
+
+/// Runs one scenario once per seed, returning the metrics in seed order —
+/// bit-identical to a fresh [`Simulator`] per seed, but with the fabric
+/// tables, arenas and fault machinery built once and shared.
+pub fn run_replications(
+    net: &ConnectionNetwork,
+    config: &SimConfig,
+    seeds: &[u64],
+) -> Result<Vec<Metrics>, SimError> {
+    if seeds.is_empty() {
+        return Ok(Vec::new());
+    }
+    if packed_eligible(config, net.stages(), seeds.len()) {
+        let mut out = Vec::with_capacity(seeds.len());
+        for chunk in seeds.chunks(LANE_WIDTH) {
+            out.extend(LaneEngine::new(net.clone(), config.clone(), chunk)?.run());
+        }
+        return Ok(out);
+    }
+    let mut sim = Simulator::new(net.clone(), config.clone().with_seed(seeds[0]))?;
+    let mut out = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        sim.reseed(seed);
+        out.push(sim.run());
+    }
+    Ok(out)
+}
+
+/// Runs one scenario once per seed and folds the results into a single
+/// [`Metrics`] via [`Metrics::merge`].
+pub fn run_replications_merged(
+    net: &ConnectionNetwork,
+    config: &SimConfig,
+    seeds: &[u64],
+) -> Result<Metrics, SimError> {
+    let mut merged = Metrics::default();
+    for metrics in run_replications(net, config, seeds)? {
+        merged.merge(&metrics);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use min_networks::omega;
+
+    fn fresh(net: &ConnectionNetwork, config: &SimConfig, seed: u64) -> Metrics {
+        Simulator::new(net.clone(), config.clone().with_seed(seed))
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn eligibility_gates_on_mode_replications_and_depth() {
+        let unbuffered = SimConfig::default();
+        assert!(packed_eligible(&unbuffered, 4, LANE_THRESHOLD));
+        assert!(!packed_eligible(&unbuffered, 4, LANE_THRESHOLD - 1));
+        assert!(!packed_eligible(&unbuffered, LANE_MAX_STAGES + 1, 64));
+        let fifo = SimConfig::default().with_buffer(BufferMode::Fifo(4));
+        assert!(!packed_eligible(&fifo, 4, 64));
+    }
+
+    #[test]
+    fn both_routes_match_fresh_scalar_simulators() {
+        let net = omega(4);
+        // 10 seeds: packed-eligible for the unbuffered config, scalar
+        // (reseed loop) for the FIFO config — both must be bit-identical
+        // to fresh per-seed simulators.
+        let seeds: Vec<u64> = (0..10).map(|k| 0xC0FFEE ^ (k * 7919)).collect();
+        for mode in [BufferMode::Unbuffered, BufferMode::Fifo(4)] {
+            let config = SimConfig::default()
+                .with_cycles(250, 25)
+                .with_load(0.85)
+                .with_buffer(mode);
+            let batched = run_replications(&net, &config, &seeds).unwrap();
+            assert_eq!(batched.len(), seeds.len());
+            for (i, &seed) in seeds.iter().enumerate() {
+                assert_eq!(batched[i], fresh(&net, &config, seed), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_respects_fault_plans() {
+        let net = omega(4);
+        let config = SimConfig::default()
+            .with_cycles(200, 20)
+            .with_load(0.9)
+            .with_faults(
+                FaultPlan::none()
+                    .with_dead_link(1, 0, 1, 0)
+                    .with_dead_switch(1, 1, 100),
+            );
+        let seeds: Vec<u64> = (1..=9).collect();
+        let batched = run_replications(&net, &config, &seeds).unwrap();
+        for (i, &seed) in seeds.iter().enumerate() {
+            assert_eq!(batched[i], fresh(&net, &config, seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merged_equals_sequential_merge_of_per_replication_metrics() {
+        let net = omega(3);
+        let config = SimConfig::default().with_cycles(150, 15).with_load(0.6);
+        let seeds: Vec<u64> = (10..30).collect();
+        let merged = run_replications_merged(&net, &config, &seeds).unwrap();
+        let mut sequential = Metrics::default();
+        for m in run_replications(&net, &config, &seeds).unwrap() {
+            sequential.merge(&m);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.measured_cycles, 150 * seeds.len() as u64);
+    }
+
+    #[test]
+    fn empty_seed_lists_yield_no_metrics() {
+        let net = omega(3);
+        let config = SimConfig::default();
+        assert!(run_replications(&net, &config, &[]).unwrap().is_empty());
+        assert_eq!(
+            run_replications_merged(&net, &config, &[]).unwrap(),
+            Metrics::default()
+        );
+    }
+}

@@ -7,7 +7,14 @@
 //! [`run_campaign`] expands the grid into a flat, deterministically ordered
 //! work queue of [`Scenario`]s, fans the queue out across scoped worker
 //! threads, and collects one [`ScenarioResult`] per scenario into a
-//! [`CampaignReport`].
+//! [`CampaignReport`]. Replications are the innermost grid axis, so every
+//! grid point is a run of consecutive scenario indices that differ only in
+//! their derived seed; the fan-out hands whole grid points to
+//! [`crate::batch::run_replications`], which builds the fabric tables,
+//! switch arenas and fault machinery once per grid point and — for
+//! unbuffered scenarios with enough replications — runs up to 64
+//! replications per machine word through the bit-parallel
+//! [`crate::lane::LaneEngine`].
 //!
 //! The buffer-mode axis is what lets one campaign sweep a topology across
 //! *buffer architectures*, not just families: the same grid cell can run
@@ -46,9 +53,10 @@
 //! ```
 
 use crate::config::{BufferMode, ConfigError, SimConfig};
-use crate::engine::{simulate, SimError};
+use crate::engine::SimError;
 use crate::fabric::FabricError;
 use crate::fault::{FaultError, FaultPlan};
+use crate::metrics::Metrics;
 use crate::traffic::TrafficPattern;
 use min_networks::{catalog_grid, ClassicalNetwork};
 use serde::{Deserialize, Serialize};
@@ -589,7 +597,6 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// Runs one scenario to completion.
 /// Per-(family, stage-count) disjoint-path diversity histograms, computed
 /// once per grid cell before the fan-out (the histogram depends only on the
 /// topology, not on the traffic/load/mode/plan axes). Cells above 8 stages
@@ -611,22 +618,8 @@ fn diversity_map(config: &CampaignConfig) -> DiversityMap {
     map
 }
 
-fn run_scenario(
-    campaign: &CampaignConfig,
-    scenario: &Scenario,
-    diversity: &DiversityMap,
-) -> Result<ScenarioResult, CampaignError> {
-    let net = scenario.network.build(scenario.stages);
-    let terminals = 1usize << scenario.stages;
-    let path_diversity = if scenario.fault_plan.is_empty() {
-        Vec::new()
-    } else {
-        diversity
-            .get(&(scenario.network, scenario.stages))
-            .cloned()
-            .unwrap_or_default()
-    };
-    let metrics = simulate(net, scenario.sim_config(campaign)).map_err(|error| match error {
+fn map_sim_error(campaign: &CampaignConfig, scenario: &Scenario, error: SimError) -> CampaignError {
+    match error {
         SimError::Fabric(error) => CampaignError::Fabric {
             scenario: scenario.index,
             error,
@@ -647,8 +640,16 @@ fn run_scenario(
             stages: scenario.stages,
             error,
         },
-    })?;
-    Ok(ScenarioResult {
+    }
+}
+
+fn scenario_result(
+    scenario: &Scenario,
+    metrics: &Metrics,
+    path_diversity: Vec<u64>,
+) -> ScenarioResult {
+    let terminals = 1usize << scenario.stages;
+    ScenarioResult {
         scenario: scenario.clone(),
         throughput: metrics.normalized_throughput(terminals),
         mean_latency: metrics.mean_latency(),
@@ -670,56 +671,96 @@ fn run_scenario(
         delivered_despite_fault: metrics.delivered_despite_fault,
         fault_exposure: metrics.fault_exposure.clone(),
         path_diversity,
-    })
+    }
+}
+
+/// Runs one grid point — all replications of one `(cell, traffic, load,
+/// buffer mode, fault plan)` tuple — through the batched replication layer.
+/// Every scenario in `group` shares its configuration except for the
+/// derived seed, so the fabric, arenas and fault machinery are built once.
+fn run_grid_point(
+    campaign: &CampaignConfig,
+    group: &[Scenario],
+    diversity: &DiversityMap,
+) -> Result<Vec<ScenarioResult>, CampaignError> {
+    let first = &group[0];
+    let net = first.network.build(first.stages);
+    let path_diversity = if first.fault_plan.is_empty() {
+        Vec::new()
+    } else {
+        diversity
+            .get(&(first.network, first.stages))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let config = first.sim_config(campaign);
+    let seeds: Vec<u64> = group.iter().map(|s| s.seed).collect();
+    let metrics = crate::batch::run_replications(&net, &config, &seeds)
+        .map_err(|error| map_sim_error(campaign, first, error))?;
+    Ok(group
+        .iter()
+        .zip(&metrics)
+        .map(|(scenario, m)| scenario_result(scenario, m, path_diversity.clone()))
+        .collect())
 }
 
 /// Expands the campaign grid and runs every scenario across `threads` scoped
 /// worker threads (`0` = one worker per available core). Workers pull
-/// scenario indices from a shared atomic cursor, so the fan-out is
-/// work-stealing-free and allocation-light; results land in index order
-/// regardless of which worker ran them, keeping the report independent of
-/// the thread count.
+/// **grid points** — blocks of `replications` consecutive scenarios that
+/// differ only in their derived seed — from a shared atomic cursor and run
+/// each block through [`crate::batch::run_replications`], so the fabric
+/// tables, switch arenas and fault machinery are built once per grid point
+/// (and eligible unbuffered blocks go through the bit-parallel
+/// [`crate::lane::LaneEngine`]). Results land in index order regardless of
+/// which worker ran them, keeping the report independent of the thread
+/// count.
 pub fn run_campaign(
     config: &CampaignConfig,
     threads: usize,
 ) -> Result<CampaignReport, CampaignError> {
     let scenarios = config.scenarios()?;
-    let workers = effective_threads(threads, scenarios.len());
+    // Replications are the innermost grid axis, so grid point `g` owns the
+    // consecutive slice `scenarios[g * reps..(g + 1) * reps]`.
+    let reps = config.replications as usize;
+    let groups = scenarios.len() / reps;
+    let workers = effective_threads(threads, groups);
     let diversity = diversity_map(config);
 
     let cursor = AtomicUsize::new(0);
-    let collected: Vec<(usize, Result<ScenarioResult, CampaignError>)> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let cursor = &cursor;
-                let scenarios = &scenarios;
-                let diversity = &diversity;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(scenario) = scenarios.get(i) else {
-                            break;
-                        };
-                        local.push((i, run_scenario(config, scenario, diversity)));
-                    }
-                    local
+    let collected: Vec<(usize, Result<Vec<ScenarioResult>, CampaignError>)> =
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let scenarios = &scenarios;
+                    let diversity = &diversity;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let g = cursor.fetch_add(1, Ordering::Relaxed);
+                            if g >= groups {
+                                break;
+                            }
+                            let group = &scenarios[g * reps..(g + 1) * reps];
+                            local.push((g, run_grid_point(config, group, diversity)));
+                        }
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
 
-    let mut slots: Vec<Option<ScenarioResult>> = vec![None; scenarios.len()];
-    for (i, result) in collected {
-        slots[i] = Some(result?);
+    let mut slots: Vec<Option<Vec<ScenarioResult>>> = vec![None; groups];
+    for (g, result) in collected {
+        slots[g] = Some(result?);
     }
     let results: Vec<ScenarioResult> = slots
         .into_iter()
-        .map(|slot| slot.expect("every scenario index was claimed exactly once"))
+        .flat_map(|slot| slot.expect("every grid point was claimed exactly once"))
         .collect();
 
     let aggregate = aggregate(&results);
@@ -736,14 +777,14 @@ pub fn run_campaign(
 }
 
 /// Resolves the worker count: `0` means one per available core, and there is
-/// never a point in more workers than scenarios.
-fn effective_threads(requested: usize, scenarios: usize) -> usize {
+/// never a point in more workers than grid points.
+fn effective_threads(requested: usize, grid_points: usize) -> usize {
     let requested = if requested == 0 {
         thread::available_parallelism().map_or(1, usize::from)
     } else {
         requested
     };
-    requested.clamp(1, scenarios.max(1))
+    requested.clamp(1, grid_points.max(1))
 }
 
 fn aggregate(results: &[ScenarioResult]) -> CampaignAggregate {
@@ -986,6 +1027,34 @@ mod tests {
         assert_eq!(one, many);
         assert_eq!(one.to_json(), many.to_json());
         assert_eq!(one.to_json(), auto.to_json());
+    }
+
+    #[test]
+    fn batched_replications_match_fresh_per_scenario_simulators() {
+        // 12 replications exceed the packed-engine threshold, so the
+        // unbuffered scenarios run 12-wide through the LaneEngine and the
+        // FIFO scenarios through the reseeded scalar engine — every result
+        // must still be identical to a fresh simulator per scenario, and
+        // the report must stay thread-invariant.
+        let cfg = tiny()
+            .with_loads(vec![0.7])
+            .with_buffer_modes(vec![BufferMode::Unbuffered, BufferMode::Fifo(3)])
+            .with_fault_plans(vec![
+                FaultPlan::none(),
+                FaultPlan::none().with_dead_link(1, 0, 1, 0),
+            ])
+            .with_replications(12);
+        let report = run_campaign(&cfg, 3).unwrap();
+        assert_eq!(report.to_json(), run_campaign(&cfg, 1).unwrap().to_json());
+        for r in &report.scenarios {
+            let net = r.scenario.network.build(r.scenario.stages);
+            let metrics = crate::engine::simulate(net, r.scenario.sim_config(&cfg)).unwrap();
+            assert_eq!(r.delivered, metrics.delivered, "{:?}", r.scenario);
+            assert_eq!(r.offered, metrics.offered, "{:?}", r.scenario);
+            assert_eq!(r.dropped_fault, metrics.dropped_fault, "{:?}", r.scenario);
+            assert_eq!(r.p99_latency, metrics.p99_latency(), "{:?}", r.scenario);
+            assert_eq!(r.fault_exposure, metrics.fault_exposure, "{:?}", r.scenario);
+        }
     }
 
     #[test]

@@ -234,6 +234,24 @@ impl Simulator {
         }
         self.metrics.clone()
     }
+
+    /// Rewinds the simulator to cycle 0 under a new seed, reusing the
+    /// fabric tables, the switch core's arenas and the fault machinery
+    /// (cached reroute epochs included). The next [`Simulator::run`] is
+    /// bit-identical to a freshly built simulator with the same
+    /// configuration and `seed` — this is what lets the batching layer run
+    /// every replication of a scenario through one engine instance.
+    pub fn reseed(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self.core.reset();
+        if let Some(rt) = self.faults.as_mut() {
+            rt.rewind();
+        }
+        self.cycle = 0;
+        self.next_packet_id = 0;
+        self.metrics = Metrics::default();
+    }
 }
 
 /// Convenience wrapper: build a simulator, run it, return the metrics.
@@ -430,6 +448,35 @@ mod tests {
     }
 
     #[test]
+    fn reseeding_matches_a_freshly_built_simulator() {
+        use crate::fault::FaultPlan;
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::none()
+                .with_dead_switch(1, 0, 200)
+                .with_degraded_link(0, 1, 0, 0),
+        ];
+        for plan in plans {
+            for mode in [
+                BufferMode::Unbuffered,
+                BufferMode::Fifo(4),
+                wormhole(2, 2, 3),
+            ] {
+                let cfg = quick_config()
+                    .with_load(0.9)
+                    .with_buffer(mode)
+                    .with_faults(plan.clone());
+                let mut reused = Simulator::new(omega(4), cfg.clone()).unwrap();
+                for seed in [42u64, 7, 42] {
+                    reused.reseed(seed);
+                    let fresh = simulate(omega(4), cfg.clone().with_seed(seed)).unwrap();
+                    assert_eq!(reused.run(), fresh, "mode {mode:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn a_dormant_fault_plan_is_bit_identical_to_no_plan() {
         // A plan whose every onset lies beyond the run exercises the whole
         // fault machinery (runtime, pair table, per-cycle views) without a
@@ -520,7 +567,12 @@ mod tests {
         use crate::fault::FaultPlan;
         let plan = FaultPlan::none().with_degraded_link(1, 0, 0, 0);
         for mode in [BufferMode::Fifo(4), wormhole(2, 2, 3)] {
-            let cfg = quick_config().with_load(0.9).with_buffer(mode);
+            // Long enough that the halved link capacity dominates the
+            // arbitration coin noise between the paired runs.
+            let cfg = quick_config()
+                .with_cycles(2000, 0)
+                .with_load(0.9)
+                .with_buffer(mode);
             let clean = simulate(omega(4), cfg.clone()).unwrap();
             let throttled = simulate(omega(4), cfg.with_faults(plan.clone())).unwrap();
             assert_eq!(throttled.unroutable_drops, 0, "mode {mode:?}");

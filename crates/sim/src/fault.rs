@@ -461,19 +461,32 @@ impl<'a> FaultView<'a> {
     }
 }
 
+/// One cached routing epoch: the pair table and severed count computed from
+/// the fault digest active between two severing onsets.
+#[derive(Debug, Clone)]
+struct EpochTable {
+    /// `pair_tags[src*cells + dst]`: the routing tag of the chosen surviving
+    /// path, or `None` when the pair is severed.
+    pair_tags: Vec<Option<u32>>,
+    /// Number of severed (unroutable) pairs in this epoch.
+    severed_pairs: u64,
+}
+
 /// The engine-side fault machinery: the compiled [`FaultState`] plus the
-/// per-(source, destination) routing table, recomputed only when a severing
-/// onset is crossed.
+/// per-(source, destination) routing tables, computed lazily once per
+/// severing epoch and cached for the runtime's lifetime — a replication
+/// rerun through [`FaultRuntime::rewind`] replays the onset schedule while
+/// reusing every table the disjoint-path router already produced.
 #[derive(Debug)]
 pub(crate) struct FaultRuntime {
     pub(crate) state: FaultState,
     stages: usize,
     cells: usize,
-    /// `pair_tags[src*cells + dst]`: the routing tag of the chosen surviving
-    /// path, or `None` when the pair is severed.
-    pair_tags: Vec<Option<u32>>,
-    /// Number of severed (unroutable) pairs in the current epoch.
-    severed_pairs: u64,
+    /// One slot per epoch: before the first severing onset plus one per
+    /// boundary in `state.severing_onsets`. Filled on first entry.
+    epochs: Vec<Option<EpochTable>>,
+    /// Epoch the simulation currently sits in (valid once `initialized`).
+    current: usize,
     /// Index into `state.severing_onsets` of the next epoch boundary.
     next_epoch: usize,
     initialized: bool,
@@ -481,19 +494,22 @@ pub(crate) struct FaultRuntime {
 
 impl FaultRuntime {
     pub(crate) fn new(plan: &FaultPlan, stages: usize, cells: usize) -> Self {
+        let state = FaultState::new(plan, stages, cells);
+        let epochs = vec![None; state.severing_onsets.len() + 1];
         FaultRuntime {
-            state: FaultState::new(plan, stages, cells),
+            state,
             stages,
             cells,
-            pair_tags: Vec::new(),
-            severed_pairs: 0,
+            epochs,
+            current: 0,
             next_epoch: 0,
             initialized: false,
         }
     }
 
-    /// Recomputes the pair table if `cycle` crossed a severing onset (or on
-    /// first use). Cheap no-op otherwise.
+    /// Enters the epoch containing `cycle`, computing its pair table if this
+    /// is the first time any run has entered it. Cheap no-op when no
+    /// severing onset was crossed.
     pub(crate) fn advance(&mut self, net: &ConnectionNetwork, cycle: u64) {
         let mut dirty = !self.initialized;
         while self.next_epoch < self.state.severing_onsets.len()
@@ -506,34 +522,58 @@ impl FaultRuntime {
             return;
         }
         self.initialized = true;
+        self.current = self.next_epoch;
+        if self.epochs[self.current].is_some() {
+            return;
+        }
         let digest = self.state.digest_at(self.stages, cycle);
-        self.pair_tags.clear();
-        self.pair_tags.resize(self.cells * self.cells, None);
-        self.severed_pairs = 0;
+        let mut pair_tags = vec![None; self.cells * self.cells];
+        let mut severed_pairs = 0;
         // Per-destination batch: the routing layer shares the two
         // reachability tables across all sources of each destination.
         for dst in 0..self.cells as u64 {
             for (src, route) in route_all_to(net, dst, &digest).into_iter().enumerate() {
                 match route {
                     FaultRoute::Routed(path) => {
-                        self.pair_tags[src * self.cells + dst as usize] = Some(path_tag(&path));
+                        pair_tags[src * self.cells + dst as usize] = Some(path_tag(&path));
                     }
-                    FaultRoute::Unroutable => self.severed_pairs += 1,
+                    FaultRoute::Unroutable => severed_pairs += 1,
                 }
             }
         }
+        self.epochs[self.current] = Some(EpochTable {
+            pair_tags,
+            severed_pairs,
+        });
     }
 
     /// Routing tag for `(src, dst)` under the current epoch's faults;
     /// `None` when the pair is severed.
     #[inline]
     pub(crate) fn pair_tag(&self, src: usize, dst: usize) -> Option<u32> {
-        self.pair_tags[src * self.cells + dst]
+        let epoch = self.epochs[self.current]
+            .as_ref()
+            .expect("advance enters an epoch before any pair query");
+        epoch.pair_tags[src * self.cells + dst]
     }
 
     /// Number of severed pairs in the current epoch.
     pub(crate) fn severed_pairs(&self) -> u64 {
-        self.severed_pairs
+        if !self.initialized {
+            return 0;
+        }
+        self.epochs[self.current]
+            .as_ref()
+            .map_or(0, |e| e.severed_pairs)
+    }
+
+    /// Rewinds to the pre-run state so the next [`FaultRuntime::advance`]
+    /// replays the onset schedule from cycle 0 — reusing every cached epoch
+    /// table instead of re-running the disjoint-path router.
+    pub(crate) fn rewind(&mut self) {
+        self.current = 0;
+        self.next_epoch = 0;
+        self.initialized = false;
     }
 }
 
@@ -653,6 +693,34 @@ mod tests {
             .filter(|&(s, d)| rt.pair_tag(s, d).is_none())
             .count() as u64;
         assert_eq!(severed, rt.severed_pairs());
+    }
+
+    #[test]
+    fn rewind_replays_the_onset_schedule_from_cached_epochs() {
+        let net = omega(4);
+        let cells = net.cells_per_stage();
+        let plan = FaultPlan::none().with_dead_link(1, 0, 1, 50);
+        let mut rt = FaultRuntime::new(&plan, net.stages(), cells);
+        rt.advance(&net, 0);
+        rt.advance(&net, 50);
+        let severed = rt.severed_pairs();
+        assert_eq!(severed, cells as u64 / 2);
+        let tags_after: Vec<_> = (0..cells)
+            .flat_map(|s| (0..cells).map(move |d| (s, d)))
+            .map(|(s, d)| rt.pair_tag(s, d))
+            .collect();
+        rt.rewind();
+        assert_eq!(rt.severed_pairs(), 0, "pre-run state severs nothing");
+        rt.advance(&net, 0);
+        assert_eq!(rt.severed_pairs(), 0);
+        assert!((0..cells).all(|s| (0..cells).all(|d| rt.pair_tag(s, d).is_some())));
+        rt.advance(&net, 50);
+        assert_eq!(rt.severed_pairs(), severed);
+        let replayed: Vec<_> = (0..cells)
+            .flat_map(|s| (0..cells).map(move |d| (s, d)))
+            .map(|(s, d)| rt.pair_tag(s, d))
+            .collect();
+        assert_eq!(replayed, tags_after, "cached epochs replay identically");
     }
 
     #[test]

@@ -1,0 +1,781 @@
+//! Word-packed simulation of up to 64 unbuffered replications at once.
+//!
+//! The [`LaneEngine`] follows the `BitMatrix` precedent of the GF(2)
+//! kernels: instead of simulating replications one after another, it packs
+//! one replication per bit of a `u64` and runs the whole batch through a
+//! single cycle loop. Queue occupancy, out-port requests, conflict and drop
+//! sets all become bitwise operations over entire replication words, and
+//! per-replication event counts (deliveries, arbitration losses, occupied
+//! slots) accumulate in bit-sliced `VerticalCounter`s — carry-save adders
+//! over replication words — so the hot phases never iterate over set bits.
+//! Only the genuinely per-replication work — RNG draws and the rare
+//! fault-loss bookkeeping — walks individual bits.
+//!
+//! # Why this is exact, not approximate
+//!
+//! Three structural facts of the unbuffered model make the packed engine
+//! bit-identical to running [`crate::Simulator`] once per replication:
+//!
+//! * **Lockstep transit.** An unbuffered packet never waits: it is injected
+//!   at stage 0 and crosses exactly one stage per cycle until it is
+//!   delivered or dropped. Every replication therefore has the *same*
+//!   queue-occupancy schedule shape — a packet delivered at cycle `c` was
+//!   injected at `c - stages` with latency exactly `stages` — so per-slot
+//!   injection times need not be stored at all, and the whole latency
+//!   statistic (total, maximum, histogram) collapses to one measured
+//!   delivery count per replication. The same argument removes the
+//!   destination planes: destination-tag routing delivers to the tag's
+//!   destination by construction, so the scalar engine's misroute audit is
+//!   a constant zero, and the packed engine pins that equality through the
+//!   scalar-oracle tests instead of re-auditing per packet.
+//! * **Per-replication RNG streams.** Each replication owns its own
+//!   ChaCha8 stream, and within one replication the engine draws in the
+//!   same order as the scalar engine: switch coins in (stage descending,
+//!   cell ascending) order, then injection draws in (cell ascending,
+//!   terminal) order. Draws happen only for bits that would draw in the
+//!   scalar engine (a coin only where that replication has a same-port
+//!   conflict), so the streams stay aligned.
+//! * **Structural sharing.** The fabric tables and the fault schedule are
+//!   replication-independent, so dead-cell and link-status checks apply
+//!   uniformly to whole words, and one `FaultRuntime` (with its cached
+//!   reroute epochs) serves the entire batch.
+//!
+//! Metric updates within a cycle are commutative (sums, max, histogram
+//! increments), so per-bit accumulation order does not affect the result.
+//!
+//! The scalar engine remains the reference oracle; the batching layer
+//! ([`crate::batch`]) routes eligible workloads here and the proptest
+//! oracle pins the two paths byte-identical.
+
+use crate::batch::LANE_MAX_STAGES;
+use crate::config::{BufferMode, SimConfig};
+use crate::engine::SimError;
+use crate::fabric::Fabric;
+use crate::fault::{FaultRuntime, FaultView, LinkStatus};
+use crate::metrics::Metrics;
+use crate::traffic::TrafficPattern;
+use min_core::ConnectionNetwork;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Replications simulated per machine word.
+pub const LANE_WIDTH: usize = 64;
+
+/// A bit-sliced counter: plane `i` holds bit `i` of every replication's
+/// running count, so adding a replication-mask of simultaneous events is a
+/// carry-save ripple over the planes — `O(log count)` word operations per
+/// add, independent of how many replications the mask covers.
+#[derive(Debug, Default)]
+struct VerticalCounter {
+    planes: Vec<u64>,
+}
+
+impl VerticalCounter {
+    /// Adds one event for every replication whose bit is set in `mask`.
+    #[inline]
+    fn add(&mut self, mut mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        for plane in self.planes.iter_mut() {
+            let carry = *plane & mask;
+            *plane ^= mask;
+            mask = carry;
+            if mask == 0 {
+                return;
+            }
+        }
+        self.planes.push(mask);
+    }
+
+    /// The accumulated count for replication `r`.
+    fn count(&self, r: usize) -> u64 {
+        self.planes
+            .iter()
+            .enumerate()
+            .map(|(i, plane)| ((plane >> r) & 1) << i)
+            .sum()
+    }
+}
+
+/// Split mutable borrows of the engine state handed to the monomorphized
+/// injection loop ([`InjectCtx::run`]).
+struct InjectCtx<'a> {
+    cells: usize,
+    lanes: usize,
+    load: f64,
+    conn_bits: usize,
+    occ: &'a mut [u64],
+    tag: &'a mut [u64],
+    rngs: &'a mut [ChaCha8Rng],
+    offered: &'a mut [u64],
+    injected: &'a mut [u64],
+    unroutable: &'a mut [u64],
+}
+
+impl InjectCtx<'_> {
+    /// Cell-major, replication-minor injection: each replication still draws
+    /// in the scalar (cell ascending, terminal) order on its own stream,
+    /// while one cell's two slot words and tag planes stay hot across all
+    /// replications instead of re-walking the whole stage-0 region once per
+    /// replication. `dest_tag` resolves one accepted offer to its routing
+    /// tag (`None` when the fault plan leaves the pair unroutable).
+    fn run<F: FnMut(u32, &mut ChaCha8Rng) -> Option<u32>>(self, mut dest_tag: F) {
+        let InjectCtx {
+            cells,
+            lanes,
+            load,
+            conn_bits,
+            occ,
+            tag,
+            rngs,
+            offered,
+            injected,
+            unroutable,
+        } = self;
+        let mut new_offered = [0u64; LANE_WIDTH];
+        let mut new_injected = [0u64; LANE_WIDTH];
+        let mut new_unroutable = [0u64; LANE_WIDTH];
+        for cell in 0..cells {
+            let base = cell * 2;
+            // One cell's two slots accumulate in stack-local planes across
+            // all replications and flush to the arena once per cell, so the
+            // per-packet deposit never round-trips through memory.
+            let mut slot_occ = [0u64; 2];
+            let mut slot_tags = [[0u64; LANE_MAX_STAGES]; 2];
+            for (r, rng) in rngs.iter_mut().enumerate().take(lanes) {
+                let bit = 1u64 << r;
+                for _terminal in 0..2 {
+                    if !rng.gen_bool(load) {
+                        continue;
+                    }
+                    new_offered[r] += 1;
+                    let Some(packet_tag) = dest_tag(cell as u32, rng) else {
+                        new_unroutable[r] += 1;
+                        continue;
+                    };
+                    new_injected[r] += 1;
+                    // Front slot first, back slot for this cycle's second
+                    // packet — branchless off the front-slot occupancy bit.
+                    let sel = ((slot_occ[0] >> r) & 1) as usize;
+                    for (b, plane) in slot_tags[sel][..conn_bits].iter_mut().enumerate() {
+                        *plane |= (u64::from(packet_tag >> b) & 1) << r;
+                    }
+                    slot_occ[sel] |= bit;
+                }
+            }
+            // The switching pass drained stage 0, so the flush is a plain
+            // store — including the zero planes, which replaces a wholesale
+            // clear of the stage-0 tag region.
+            occ[base] = slot_occ[0];
+            occ[base + 1] = slot_occ[1];
+            tag[base * conn_bits..(base + 1) * conn_bits]
+                .copy_from_slice(&slot_tags[0][..conn_bits]);
+            tag[(base + 1) * conn_bits..(base + 2) * conn_bits]
+                .copy_from_slice(&slot_tags[1][..conn_bits]);
+        }
+        for r in 0..lanes {
+            offered[r] += new_offered[r];
+            injected[r] += new_injected[r];
+            unroutable[r] += new_unroutable[r];
+        }
+    }
+}
+
+/// A word-packed engine running up to [`LANE_WIDTH`] independent unbuffered
+/// replications of one scenario in lockstep.
+///
+/// Construct with one seed per replication ([`LaneEngine::new`]), then
+/// [`LaneEngine::run`] the configured cycle budget; the returned metrics
+/// are bit-identical to running [`crate::Simulator`] once per seed.
+#[derive(Debug)]
+pub struct LaneEngine {
+    fabric: Fabric,
+    config: SimConfig,
+    /// One independent ChaCha8 stream per replication, seeded exactly like
+    /// the scalar engine.
+    rngs: Vec<ChaCha8Rng>,
+    /// Cold per-replication accumulators: the fault-loss counters and the
+    /// per-stage exposure vectors land here directly; everything else is
+    /// folded in from the vertical counters when the run finishes.
+    metrics: Vec<Metrics>,
+    faults: Option<FaultRuntime>,
+    cycle: u64,
+    /// Active replications (bits `0..lanes` of every word are meaningful).
+    lanes: usize,
+    stages: usize,
+    cells: usize,
+    /// Tag bits consulted while switching (`stages - 1` port choices).
+    conn_bits: usize,
+    /// Destination bits (`log2(cells)`), the traffic generators' draw width.
+    dest_bits: usize,
+    /// Queue occupancy, one word per slot: slot `(stage*cells + cell)*2 + q`
+    /// holds position `q` (0 = front) of that cell's two-packet queue; bit
+    /// `r` is set when replication `r` has a packet there.
+    occ: Vec<u64>,
+    /// Bit-planes of the queued routing tags: word `slot*conn_bits + b`
+    /// holds bit `b` of every replication's tag in `slot`.
+    tag: Vec<u64>,
+    /// Downstream cell reached from `(stage, cell, port)`, precomputed so
+    /// the switching pass never re-evaluates the connection permutations:
+    /// entry `(stage * cells + cell) * 2 + port`.
+    next: Vec<u32>,
+    /// Per-replication offered / injected / unroutable-refusal counts,
+    /// updated inside the (already per-replication) injection RNG loop.
+    offered: Vec<u64>,
+    injected: Vec<u64>,
+    unroutable: Vec<u64>,
+    /// Per-replication occupancy-cycles already accounted for dropped
+    /// packets (fault losses record `stage + 1` at drop time).
+    occ_fault: Vec<u64>,
+    /// Delivered packets per replication.
+    vc_delivered: VerticalCounter,
+    /// Deliveries inside the measurement window (each with the constant
+    /// latency `stages`).
+    vc_measured: VerticalCounter,
+    /// Deliveries while at least one fault was active.
+    vc_despite: VerticalCounter,
+    /// Arbitration losses per replication, split by the stage the packet
+    /// was leaving — the split prices each loss's occupancy-cycles.
+    vc_arb: Vec<VerticalCounter>,
+}
+
+impl LaneEngine {
+    /// Builds a packed engine for `seeds.len()` replications of the given
+    /// unbuffered scenario (one seed per replication, in output order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.buffer_mode` is not [`BufferMode::Unbuffered`],
+    /// `seeds` is empty or longer than [`LANE_WIDTH`], or the fabric is
+    /// deeper than [`LANE_MAX_STAGES`] — the batching layer gates
+    /// eligibility before constructing one.
+    pub fn new(net: ConnectionNetwork, config: SimConfig, seeds: &[u64]) -> Result<Self, SimError> {
+        assert_eq!(
+            config.buffer_mode,
+            BufferMode::Unbuffered,
+            "the packed engine models only the unbuffered core"
+        );
+        assert!(
+            !seeds.is_empty() && seeds.len() <= LANE_WIDTH,
+            "1..={LANE_WIDTH} replications per word, got {}",
+            seeds.len()
+        );
+        config.validate()?;
+        let fabric = Fabric::new(net)?;
+        let faults = if config.fault_plan.is_empty() {
+            None
+        } else {
+            config
+                .fault_plan
+                .validate(fabric.stages(), fabric.cells())?;
+            Some(FaultRuntime::new(
+                &config.fault_plan,
+                fabric.stages(),
+                fabric.cells(),
+            ))
+        };
+        let stages = fabric.stages();
+        assert!(
+            stages <= LANE_MAX_STAGES,
+            "the packed engine holds at most {LANE_MAX_STAGES} stages, got {stages}"
+        );
+        let cells = fabric.cells();
+        let conn_bits = stages - 1;
+        let dest_bits = fabric.network().width();
+        let slots = stages * cells * 2;
+        let mut next = Vec::with_capacity((stages - 1) * cells * 2);
+        for stage in 0..stages - 1 {
+            for cell in 0..cells {
+                for port in 0..2u8 {
+                    next.push(fabric.next_cell(stage, cell as u32, port));
+                }
+            }
+        }
+        Ok(LaneEngine {
+            rngs: seeds
+                .iter()
+                .map(|&s| ChaCha8Rng::seed_from_u64(s))
+                .collect(),
+            metrics: vec![Metrics::default(); seeds.len()],
+            faults,
+            cycle: 0,
+            lanes: seeds.len(),
+            stages,
+            cells,
+            conn_bits,
+            dest_bits,
+            occ: vec![0; slots],
+            tag: vec![0; slots * conn_bits],
+            next,
+            offered: vec![0; seeds.len()],
+            injected: vec![0; seeds.len()],
+            unroutable: vec![0; seeds.len()],
+            occ_fault: vec![0; seeds.len()],
+            vc_delivered: VerticalCounter::default(),
+            vc_measured: VerticalCounter::default(),
+            vc_despite: VerticalCounter::default(),
+            vc_arb: (0..stages - 1)
+                .map(|_| VerticalCounter::default())
+                .collect(),
+            fabric,
+            config,
+        })
+    }
+
+    #[inline]
+    fn base(&self, stage: usize, cell: usize) -> usize {
+        (stage * self.cells + cell) * 2
+    }
+
+    /// Drops the replications in `mask` holding a packet in `slot`'s word as
+    /// fault losses at `stage`. This is the one per-bit drop path — it only
+    /// runs while a fault plan is active.
+    fn fault_drop(&mut self, mut mask: u64, stage: usize) {
+        while mask != 0 {
+            let r = mask.trailing_zeros() as usize;
+            self.metrics[r].dropped_fault += 1;
+            self.metrics[r].record_fault_exposure(stage);
+            // A packet removed at `stage` was counted by `stage + 1`
+            // end-of-cycle occupancy snapshots (stages 0..=stage).
+            self.occ_fault[r] += stage as u64 + 1;
+            mask &= mask - 1;
+        }
+    }
+
+    /// Phase 1 — drain the last stage. Every packet delivered this cycle
+    /// was injected exactly `stages` cycles ago (lockstep transit), so the
+    /// latency is the constant `stages`, the warm-up test reduces to a
+    /// uniform cycle comparison, and the whole phase is three vertical-
+    /// counter adds per occupied slot word.
+    fn deliver(&mut self, faults: &FaultView<'_>) {
+        let last = self.stages - 1;
+        let degraded = faults.any_active();
+        let measured = self.cycle >= self.config.warmup + self.stages as u64;
+        for cell in 0..self.cells {
+            let base = self.base(last, cell);
+            if self.occ[base] | self.occ[base + 1] == 0 {
+                continue;
+            }
+            if faults.cell_dead(last, cell) {
+                self.fault_drop(self.occ[base], last);
+                self.fault_drop(self.occ[base + 1], last);
+                self.occ[base] = 0;
+                self.occ[base + 1] = 0;
+                continue;
+            }
+            for q in 0..2 {
+                let m = self.occ[base + q];
+                if m == 0 {
+                    continue;
+                }
+                self.vc_delivered.add(m);
+                if measured {
+                    self.vc_measured.add(m);
+                }
+                if degraded {
+                    self.vc_despite.add(m);
+                }
+                self.occ[base + q] = 0;
+            }
+        }
+    }
+
+    /// Moves the `moved` replications' packets (from the front/back slots of
+    /// the upstream queue per `fwd_front`/`fwd_back`) into the downstream
+    /// queue at `dst_base`, filling the front slot first like the scalar
+    /// push order.
+    ///
+    /// Only tag planes `from_plane..` travel: plane `b` is consulted once,
+    /// by the switching pass at stage `b`, so bits already spent on routing
+    /// are dead weight — the copy shrinks every hop and the final hop into
+    /// the delivery stage moves no tag bits at all.
+    fn merge_into(
+        &mut self,
+        src_base: usize,
+        dst_base: usize,
+        from_plane: usize,
+        fwd_front: u64,
+        fwd_back: u64,
+    ) {
+        let moved = fwd_front | fwd_back;
+        let first = moved & !self.occ[dst_base];
+        let second = moved & self.occ[dst_base];
+        // 2-in-regularity bounds arrivals at two per cell per cycle, and the
+        // downstream queue was drained earlier this cycle, so the back slot
+        // can never already be occupied when the front one is.
+        debug_assert_eq!(second & self.occ[dst_base + 1], 0, "unbuffered overflow");
+        // The destination stage is strictly downstream, so splitting at its
+        // front row yields disjoint source and destination slices and the
+        // plane loops below run without bounds checks.
+        let cb = self.conn_bits;
+        let (src_rows, dst_rows) = self.tag.split_at_mut(dst_base * cb);
+        let src_front = &src_rows[src_base * cb + from_plane..(src_base + 1) * cb];
+        let src_back = &src_rows[(src_base + 1) * cb + from_plane..(src_base + 2) * cb];
+        let (dst_front, dst_back) = dst_rows[..2 * cb].split_at_mut(cb);
+        if second == 0 {
+            for ((&sf, &sb), df) in src_front
+                .iter()
+                .zip(src_back)
+                .zip(&mut dst_front[from_plane..])
+            {
+                let src = (sf & fwd_front) | (sb & fwd_back);
+                *df = (*df & !first) | (src & first);
+            }
+        } else {
+            for (((&sf, &sb), df), db) in src_front
+                .iter()
+                .zip(src_back)
+                .zip(&mut dst_front[from_plane..])
+                .zip(&mut dst_back[from_plane..])
+            {
+                let src = (sf & fwd_front) | (sb & fwd_back);
+                *df = (*df & !first) | (src & first);
+                *db = (*db & !second) | (src & second);
+            }
+        }
+        self.occ[dst_base] |= first;
+        self.occ[dst_base + 1] |= second;
+    }
+
+    /// Phase 2 — one switching pass, next-to-last stage back to the first.
+    fn switch(&mut self, faults: &FaultView<'_>) {
+        for s in (0..self.stages - 1).rev() {
+            for cell in 0..self.cells {
+                let base = self.base(s, cell);
+                let occ_front = self.occ[base];
+                let occ_back = self.occ[base + 1];
+                // Queues fill front-first, so a back-only occupancy cannot
+                // occur; an empty cell draws no coins (scalar parity).
+                debug_assert_eq!(occ_back & !occ_front, 0);
+                if occ_front == 0 {
+                    continue;
+                }
+                if faults.cell_dead(s, cell) {
+                    self.fault_drop(occ_front, s);
+                    self.fault_drop(occ_back, s);
+                    self.occ[base] = 0;
+                    self.occ[base + 1] = 0;
+                    continue;
+                }
+                let p_front = self.tag[base * self.conn_bits + s];
+                let p_back = self.tag[(base + 1) * self.conn_bits + s];
+                // Same-port conflicts draw one fair coin per replication —
+                // before any link check, exactly like the scalar engine.
+                let conflict = occ_front & occ_back & !(p_front ^ p_back);
+                let mut swap = 0u64;
+                let mut w = conflict;
+                while w != 0 {
+                    let r = w.trailing_zeros() as usize;
+                    if self.rngs[r].gen_bool(0.5) {
+                        swap |= 1 << r;
+                    }
+                    w &= w - 1;
+                }
+                self.occ[base] = 0;
+                self.occ[base + 1] = 0;
+                for port in 0..2 {
+                    let want = if port == 1 { p_front } else { !p_front };
+                    let req_front = occ_front & want;
+                    let want = if port == 1 { p_back } else { !p_back };
+                    let req_back = occ_back & want;
+                    if req_front | req_back == 0 {
+                        continue;
+                    }
+                    // The next-cell table shares the `(stage*cells+cell)*2`
+                    // indexing of the slot words.
+                    let next = self.next[base + port] as usize;
+                    // A dead link, a throttled link (nowhere to hold the
+                    // packet in an unbuffered cell) and a dead downstream
+                    // switch all cost the same: a fault loss at this stage,
+                    // with no port grant — so the conflict partner is lost
+                    // the same way, never as an arbitration drop.
+                    let killed = faults.link_status(s, cell, port) != LinkStatus::Up
+                        || faults.cell_dead(s + 1, next);
+                    if killed {
+                        self.fault_drop(req_front, s);
+                        self.fault_drop(req_back, s);
+                        continue;
+                    }
+                    let conf = conflict & req_front;
+                    debug_assert_eq!(conf, req_front & req_back);
+                    let fwd_front = req_front & !(conf & swap);
+                    let fwd_back = req_back & !(conf & !swap);
+                    // Exactly one of the two conflict partners loses.
+                    self.vc_arb[s].add(conf);
+                    self.merge_into(base, self.base(s + 1, next), s + 1, fwd_front, fwd_back);
+                }
+            }
+        }
+    }
+
+    /// Phase 3 — injection: per replication, the exact scalar draw order
+    /// over (cell ascending, terminal 0..2).
+    ///
+    /// The switching pass always drains stage 0 (an unbuffered packet moves
+    /// or drops every cycle), so injection starts from empty source queues:
+    /// the scalar engine's full-queue refusal can never fire here, the two
+    /// terminals fill the front then the back slot, and each cell's slot
+    /// words and tag planes are rebuilt from scratch (so the flush
+    /// overwrites last cycle's stage-0 state with no separate clearing
+    /// pass). The destination-to-tag resolution is monomorphized per
+    /// traffic pattern and fault state, so the per-packet path carries no
+    /// dispatch.
+    fn inject(&mut self, faults: Option<&FaultRuntime>) {
+        let load = self.config.offered_load;
+        let width_bits = self.dest_bits;
+        let cells = self.cells as u32;
+        debug_assert!(self.occ[..self.cells * 2].iter().all(|&w| w == 0));
+        let fabric = &self.fabric;
+        let ctx = InjectCtx {
+            cells: self.cells,
+            lanes: self.lanes,
+            load,
+            conn_bits: self.conn_bits,
+            occ: &mut self.occ,
+            tag: &mut self.tag,
+            rngs: &mut self.rngs,
+            offered: &mut self.offered,
+            injected: &mut self.injected,
+            unroutable: &mut self.unroutable,
+        };
+        match (&self.config.traffic, faults) {
+            (TrafficPattern::Uniform, None) => {
+                ctx.run(|_cell, rng| Some(fabric.tag_for(rng.gen_range(0..cells))))
+            }
+            (traffic, None) => ctx.run(|cell, rng| {
+                Some(fabric.tag_for(traffic.destination(cell, cells, width_bits, rng)))
+            }),
+            (traffic, Some(rt)) => ctx.run(|cell, rng| {
+                let destination = traffic.destination(cell, cells, width_bits, rng);
+                rt.pair_tag(cell as usize, destination as usize)
+            }),
+        }
+    }
+
+    /// Runs one cycle for every replication.
+    fn step(&mut self) {
+        // Phase 0: cross any fault-onset boundary (shared by every
+        // replication — the schedule is seed-independent).
+        let mut rt = self.faults.take();
+        if let Some(rt) = rt.as_mut() {
+            rt.advance(self.fabric.network(), self.cycle);
+        }
+        let view = match rt.as_ref() {
+            Some(rt) => FaultView::at(&rt.state, self.cycle),
+            None => FaultView::healthy(self.cycle),
+        };
+
+        self.deliver(&view);
+        self.switch(&view);
+        self.inject(rt.as_ref());
+        self.faults = rt;
+
+        self.cycle += 1;
+    }
+
+    /// Runs the configured cycle budget and returns one [`Metrics`] per
+    /// seed, in the order the seeds were given: the vertical counters are
+    /// materialized into per-replication [`Metrics`], with the latency
+    /// statistics reconstructed from the constant unbuffered latency.
+    pub fn run(mut self) -> Vec<Metrics> {
+        for _ in 0..self.config.cycles {
+            self.step();
+        }
+        // Occupancy-cycles in closed form instead of a per-cycle scan over
+        // every slot word: a packet removed while leaving stage `s` was
+        // present at exactly `s + 1` end-of-cycle snapshots (stages 0..=s),
+        // a delivered packet at `stages` of them, and a packet still in
+        // flight at stage `k` at `k + 1`. Fault losses priced theirs at
+        // drop time ([`Self::fault_drop`]); the still-in-flight tail is one
+        // final sweep here.
+        let mut occ_end = vec![0u64; self.lanes];
+        for (slot, &word) in self.occ.iter().enumerate() {
+            let mut w = word;
+            if w == 0 {
+                continue;
+            }
+            let weight = (slot / (self.cells * 2) + 1) as u64;
+            while w != 0 {
+                occ_end[w.trailing_zeros() as usize] += weight;
+                w &= w - 1;
+            }
+        }
+        let slots = (self.stages * self.cells * 2) as u64;
+        let latency = self.stages as u64;
+        for r in 0..self.lanes {
+            let metrics = &mut self.metrics[r];
+            metrics.measured_cycles = self.cycle;
+            metrics.offered = self.offered[r];
+            metrics.injected = self.injected[r];
+            metrics.unroutable_drops = self.unroutable[r];
+            metrics.delivered = self.vc_delivered.count(r);
+            metrics.delivered_despite_fault = self.vc_despite.count(r);
+            let mut arb = 0u64;
+            let mut arb_occupancy = 0u64;
+            for (s, vc) in self.vc_arb.iter().enumerate() {
+                let losses = vc.count(r);
+                arb += losses;
+                arb_occupancy += losses * (s as u64 + 1);
+            }
+            metrics.dropped_arbitration = arb;
+            let measured = self.vc_measured.count(r);
+            metrics.total_latency = measured * latency;
+            if measured > 0 {
+                metrics.max_latency = latency;
+                metrics.latency_histogram = vec![0; latency as usize + 1];
+                metrics.latency_histogram[latency as usize] = measured;
+            }
+            metrics.lane_occupancy_sum =
+                metrics.delivered * latency + arb_occupancy + self.occ_fault[r] + occ_end[r];
+            metrics.lane_slot_cycles = self.cycle * slots;
+            // Conservation (no backpressure in the unbuffered model): what
+            // was injected but neither delivered nor dropped is in flight.
+            metrics.in_flight_at_end = metrics.injected
+                - metrics.delivered
+                - metrics.dropped_arbitration
+                - metrics.dropped_fault;
+        }
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::fault::FaultPlan;
+    use crate::traffic::TrafficPattern;
+    use min_networks::{baseline, omega};
+
+    fn scalar(net: &ConnectionNetwork, config: &SimConfig, seed: u64) -> Metrics {
+        Simulator::new(net.clone(), config.clone().with_seed(seed))
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn packed_matches_scalar_across_loads_and_widths() {
+        let seeds: Vec<u64> = (1..=7u64)
+            .map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        for n in [3usize, 5] {
+            for load in [0.15, 0.6, 1.0] {
+                let net = omega(n);
+                let config = SimConfig::default().with_cycles(300, 30).with_load(load);
+                let packed = LaneEngine::new(net.clone(), config.clone(), &seeds)
+                    .unwrap()
+                    .run();
+                for (i, &seed) in seeds.iter().enumerate() {
+                    assert_eq!(
+                        packed[i],
+                        scalar(&net, &config, seed),
+                        "n={n} load={load} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_under_all_traffic_patterns() {
+        let seeds = [3u64, 99, 0xDEAD_BEEF];
+        let net = baseline(4);
+        let cells = net.cells_per_stage() as u32;
+        let patterns = [
+            TrafficPattern::Uniform,
+            TrafficPattern::Hotspot {
+                fraction: 0.4,
+                target: 2,
+            },
+            TrafficPattern::Permutation((0..cells).rev().collect()),
+            TrafficPattern::BitReversal,
+        ];
+        for pattern in patterns {
+            let config = SimConfig::default()
+                .with_cycles(250, 25)
+                .with_load(0.8)
+                .with_traffic(pattern.clone());
+            let packed = LaneEngine::new(net.clone(), config.clone(), &seeds)
+                .unwrap()
+                .run();
+            for (i, &seed) in seeds.iter().enumerate() {
+                assert_eq!(
+                    packed[i],
+                    scalar(&net, &config, seed),
+                    "pattern {pattern:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_under_fault_plans() {
+        let seeds = [11u64, 12, 13, 14];
+        let net = omega(4);
+        let plans = [
+            FaultPlan::none().with_dead_link(1, 0, 1, 0),
+            FaultPlan::none()
+                .with_dead_switch(1, 1, 120)
+                .with_degraded_link(0, 0, 0, 0),
+            FaultPlan::none()
+                .with_dead_link(0, 2, 1, 10_000)
+                .with_dead_switch(2, 0, 10_000),
+        ];
+        for plan in plans {
+            let config = SimConfig::default()
+                .with_cycles(300, 30)
+                .with_load(0.9)
+                .with_faults(plan.clone());
+            let packed = LaneEngine::new(net.clone(), config.clone(), &seeds)
+                .unwrap()
+                .run();
+            for (i, &seed) in seeds.iter().enumerate() {
+                assert_eq!(
+                    packed[i],
+                    scalar(&net, &config, seed),
+                    "plan {} seed {seed}",
+                    plan.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_full_word_of_replications_matches_scalar() {
+        let seeds: Vec<u64> = (0..LANE_WIDTH as u64)
+            .map(|k| k.wrapping_mul(0xA5A5) ^ 7)
+            .collect();
+        let net = omega(3);
+        let config = SimConfig::default().with_cycles(150, 15).with_load(0.7);
+        let packed = LaneEngine::new(net.clone(), config.clone(), &seeds)
+            .unwrap()
+            .run();
+        assert_eq!(packed.len(), LANE_WIDTH);
+        for (i, &seed) in seeds.iter().enumerate() {
+            assert_eq!(packed[i], scalar(&net, &config, seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn packed_metrics_conserve_packets() {
+        let seeds = [5u64, 6, 7, 8, 9];
+        let config = SimConfig::default().with_cycles(200, 20).with_load(1.0);
+        for m in LaneEngine::new(omega(5), config, &seeds).unwrap().run() {
+            assert_eq!(
+                m.injected,
+                m.delivered + m.dropped() + m.in_flight_at_end,
+                "conservation"
+            );
+            assert_eq!(m.misrouted, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbuffered")]
+    fn buffered_modes_are_rejected() {
+        let config = SimConfig::default().with_buffer(BufferMode::Fifo(4));
+        let _ = LaneEngine::new(omega(3), config, &[1]);
+    }
+}

@@ -35,25 +35,35 @@
 //!   traffic × load × buffer mode × fault plan × replication) expanded into
 //!   a work queue and fanned out across scoped threads, with per-scenario
 //!   seeds derived from the campaign seed so reports are bitwise
-//!   reproducible at any thread count.
+//!   reproducible at any thread count;
+//! * the bit-parallel fast path ([`lane`] and [`batch`]) — a word-packed
+//!   [`lane::LaneEngine`] simulating up to 64 independent unbuffered
+//!   replications per `u64` (occupancy, conflict and drop sets as bitwise
+//!   operations over replication words), routed in automatically by
+//!   [`batch::run_replications`] for eligible workloads and pinned
+//!   bit-identical to the scalar engine by the packed-oracle tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod fabric;
 pub mod fault;
+pub mod lane;
 pub mod metrics;
 pub mod packet;
 pub mod switch;
 pub mod traffic;
 
+pub use batch::{run_replications, run_replications_merged};
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Scenario, ScenarioResult};
 pub use config::{BufferMode, ConfigError, SimConfig};
 pub use engine::{simulate, SimError, Simulator};
 pub use fault::{Fault, FaultError, FaultKind, FaultPlan, FaultView, LinkStatus};
+pub use lane::{LaneEngine, LANE_WIDTH};
 pub use metrics::Metrics;
 pub use packet::{Flit, Packet};
 pub use switch::{FifoCore, RingArena, SwitchCore, UnbufferedCore, WormholeCore};

@@ -200,6 +200,53 @@ impl Metrics {
         self.percentile_latency(99.0)
     }
 
+    /// Folds `other` into `self` as if the two runs' events had been
+    /// recorded into one accumulator: counters and sums add (including
+    /// `measured_cycles` and `in_flight_at_end`, so ratio metrics such as
+    /// [`Metrics::normalized_throughput`] and
+    /// [`Metrics::mean_lane_occupancy`] become replication averages),
+    /// `max_latency` takes the maximum, and the per-stage exposure and
+    /// latency histograms add element-wise. Merging is associative and
+    /// commutative, and merging in any order equals sequential
+    /// accumulation — which is what lets batched replications aggregate
+    /// without per-replication re-aggregation.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.measured_cycles += other.measured_cycles;
+        self.offered += other.offered;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.dropped_arbitration += other.dropped_arbitration;
+        self.dropped_backpressure += other.dropped_backpressure;
+        self.dropped_fault += other.dropped_fault;
+        self.unroutable_drops += other.unroutable_drops;
+        self.delivered_despite_fault += other.delivered_despite_fault;
+        self.in_flight_at_end += other.in_flight_at_end;
+        self.total_latency += other.total_latency;
+        self.max_latency = self.max_latency.max(other.max_latency);
+        self.misrouted += other.misrouted;
+        self.flits_delivered += other.flits_delivered;
+        self.flit_stalls += other.flit_stalls;
+        self.lane_occupancy_sum += other.lane_occupancy_sum;
+        self.lane_slot_cycles += other.lane_slot_cycles;
+        if other.fault_exposure.len() > self.fault_exposure.len() {
+            self.fault_exposure.resize(other.fault_exposure.len(), 0);
+        }
+        for (acc, &v) in self.fault_exposure.iter_mut().zip(&other.fault_exposure) {
+            *acc += v;
+        }
+        if other.latency_histogram.len() > self.latency_histogram.len() {
+            self.latency_histogram
+                .resize(other.latency_histogram.len(), 0);
+        }
+        for (acc, &v) in self
+            .latency_histogram
+            .iter_mut()
+            .zip(&other.latency_histogram)
+        {
+            *acc += v;
+        }
+    }
+
     /// Conservation audit: every injected packet is delivered, dropped or
     /// still in flight.
     pub fn conserved(&self) -> bool {
@@ -281,6 +328,63 @@ mod tests {
         m.record_fault_exposure(0);
         assert_eq!(m.fault_exposure, vec![1, 0, 2]);
         assert_eq!(m.total_fault_exposure(), 3);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        // Record two runs' events into one accumulator...
+        let mut sequential = Metrics::default();
+        for latency in [3u64, 3, 7] {
+            sequential.record_latency(latency);
+        }
+        sequential.record_fault_exposure(1);
+        sequential.record_fault_exposure(3);
+        sequential.measured_cycles = 300;
+        sequential.offered = 40;
+        sequential.injected = 30;
+        sequential.delivered = 25;
+        sequential.dropped_arbitration = 3;
+        sequential.dropped_fault = 2;
+        sequential.in_flight_at_end = 4;
+        sequential.lane_occupancy_sum = 50;
+        sequential.lane_slot_cycles = 600;
+
+        // ...and the same events split across two metrics, then merged.
+        let mut a = Metrics::default();
+        a.record_latency(3);
+        a.record_fault_exposure(1);
+        a.measured_cycles = 100;
+        a.offered = 15;
+        a.injected = 12;
+        a.delivered = 10;
+        a.dropped_arbitration = 1;
+        a.in_flight_at_end = 1;
+        a.lane_occupancy_sum = 20;
+        a.lane_slot_cycles = 200;
+        let mut b = Metrics::default();
+        b.record_latency(3);
+        b.record_latency(7);
+        b.record_fault_exposure(3);
+        b.measured_cycles = 200;
+        b.offered = 25;
+        b.injected = 18;
+        b.delivered = 15;
+        b.dropped_arbitration = 2;
+        b.dropped_fault = 2;
+        b.in_flight_at_end = 3;
+        b.lane_occupancy_sum = 30;
+        b.lane_slot_cycles = 400;
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, sequential);
+        // Commutative: merging the other way round gives the same result.
+        let mut swapped = b.clone();
+        swapped.merge(&a);
+        assert_eq!(swapped, sequential);
+        // The shorter histogram on the left still absorbs the longer right.
+        assert_eq!(merged.max_latency, 7);
+        assert_eq!(merged.fault_exposure, vec![0, 1, 0, 1]);
     }
 
     #[test]

@@ -17,12 +17,23 @@
 //!   per cycle, and a blocked worm holds its lanes across stages until the
 //!   tail drains through.
 //!
-//! All three keep their state in [`RingArena`]s: one contiguous, preallocated
-//! slot vector plus per-ring `head`/`len` cursors. Compared with the previous
-//! `Vec<Vec<VecDeque<Packet>>>` store this removes two levels of pointer
-//! chasing and all steady-state allocation from the switching hot path — the
-//! whole fabric's occupancy lives in three flat arrays with predictable
-//! stride.
+//! The packet-atomic cores keep their state in struct-of-arrays ring
+//! buffers: the routing tags, destinations and injection times of every
+//! queued packet live in three parallel flat arrays indexed by
+//! `(stage, cell)` ring cursors, with ring capacities padded to a power of
+//! two so every wrap is a mask instead of a hardware division. Compared
+//! with the previous array-of-`Packet` arena this keeps the per-cycle
+//! advance/arbitrate/deliver loop branch-light and cache-linear: the switch
+//! pass touches only the tag lane, delivery only the destination and
+//! injection-time lanes, and the unobservable `id`/`source` header fields
+//! are not stored at all. The wormhole core keeps its flits in a
+//! [`RingArena`] (one contiguous, preallocated slot vector plus per-ring
+//! `head`/`len` cursors) with the same power-of-two wrap.
+//!
+//! All cores support [`SwitchCore::reset`], which rewinds the arenas to
+//! their pristine state without reallocating — the batching layer
+//! ([`crate::batch`]) uses it to run every replication of a scenario
+//! through one core instance.
 
 use crate::config::BufferMode;
 use crate::fabric::Fabric;
@@ -87,6 +98,10 @@ pub trait SwitchCore: std::fmt::Debug + Send {
     /// slots for the packet cores, active lanes over all lanes for the
     /// wormhole core — accumulated by the engine into the occupancy metrics.
     fn occupancy(&self) -> (u64, u64);
+
+    /// Rewinds the core to its freshly constructed (empty) state without
+    /// reallocating, so one core instance can run many replications.
+    fn reset(&mut self);
 }
 
 /// Builds the core matching `mode` for a `stages × cells` fabric.
@@ -113,26 +128,37 @@ pub(crate) fn build_core(mode: BufferMode, stages: usize, cells: usize) -> Box<d
 
 /// A flat arena of equally sized ring buffers.
 ///
-/// Ring `r` occupies the slot range `r*cap .. (r+1)*cap` of one contiguous
-/// vector; `head[r]`/`len[r]` are its cursors. Every operation is O(1) with
-/// no allocation after construction.
+/// Ring `r` occupies the slot range `r << shift .. (r + 1) << shift` of one
+/// contiguous vector; `head[r]`/`len[r]` are its cursors. Storage per ring is
+/// padded up to the next power of two so every cursor wrap is a bitwise AND
+/// instead of a hardware division; the *logical* capacity (`is_full`,
+/// [`RingArena::slot_count`]) stays exactly `cap`. Every operation is O(1)
+/// with no allocation after construction.
 #[derive(Debug, Clone)]
 pub struct RingArena<T> {
     slots: Vec<T>,
     head: Vec<u32>,
     len: Vec<u32>,
+    /// Logical per-ring capacity — the admission limit.
     cap: u32,
+    /// `cap.next_power_of_two() - 1` — the cursor wrap mask.
+    mask: u32,
+    /// `log2(cap.next_power_of_two())` — the ring stride shift.
+    shift: u32,
 }
 
 impl<T: Copy + Default> RingArena<T> {
     /// An arena of `rings` empty rings, each holding up to `cap` values.
     pub fn new(rings: usize, cap: usize) -> Self {
-        assert!(cap > 0 && cap <= u32::MAX as usize, "ring capacity {cap}");
+        assert!(cap > 0 && cap < u32::MAX as usize, "ring capacity {cap}");
+        let storage = cap.next_power_of_two();
         RingArena {
-            slots: vec![T::default(); rings * cap],
+            slots: vec![T::default(); rings * storage],
             head: vec![0; rings],
             len: vec![0; rings],
             cap: cap as u32,
+            mask: storage as u32 - 1,
+            shift: storage.trailing_zeros(),
         }
     }
 
@@ -148,7 +174,7 @@ impl<T: Copy + Default> RingArena<T> {
         self.len[r] == 0
     }
 
-    /// Whether ring `r` is at capacity.
+    /// Whether ring `r` is at (logical) capacity.
     #[inline]
     pub fn is_full(&self, r: usize) -> bool {
         self.len[r] == self.cap
@@ -156,7 +182,7 @@ impl<T: Copy + Default> RingArena<T> {
 
     #[inline]
     fn slot(&self, r: usize, offset: u32) -> usize {
-        r * self.cap as usize + ((self.head[r] + offset) % self.cap) as usize
+        (r << self.shift) + ((self.head[r].wrapping_add(offset)) & self.mask) as usize
     }
 
     /// Appends `value` at the back of ring `r`.
@@ -180,7 +206,7 @@ impl<T: Copy + Default> RingArena<T> {
     /// Panics when the ring is full (see [`RingArena::push_back`]).
     pub fn push_front(&mut self, r: usize, value: T) {
         assert!(!self.is_full(r), "ring {r} overflow");
-        self.head[r] = (self.head[r] + self.cap - 1) % self.cap;
+        self.head[r] = self.head[r].wrapping_add(self.mask) & self.mask;
         let s = self.slot(r, 0);
         self.slots[s] = value;
         self.len[r] += 1;
@@ -193,7 +219,7 @@ impl<T: Copy + Default> RingArena<T> {
         }
         let s = self.slot(r, 0);
         let v = self.slots[s];
-        self.head[r] = (self.head[r] + 1) % self.cap;
+        self.head[r] = (self.head[r] + 1) & self.mask;
         self.len[r] -= 1;
         Some(v)
     }
@@ -203,29 +229,63 @@ impl<T: Copy + Default> RingArena<T> {
         self.len.iter().map(|&l| u64::from(l)).sum()
     }
 
-    /// Total slot capacity of the arena (`rings × cap`).
+    /// Total *logical* slot capacity of the arena (`rings × cap`), excluding
+    /// power-of-two padding — this feeds the occupancy metrics and must not
+    /// change with the storage layout.
     pub fn slot_count(&self) -> u64 {
-        self.slots.len() as u64
+        self.head.len() as u64 * u64::from(self.cap)
+    }
+
+    /// Empties every ring without reallocating or touching slot storage.
+    pub fn reset(&mut self) {
+        self.head.fill(0);
+        self.len.fill(0);
     }
 }
 
-/// Shared state and cycle logic of the two packet-atomic cores: one ring of
-/// packets per `(stage, cell)`, indexed into a single flat arena.
+/// Shared state and cycle logic of the two packet-atomic cores, stored as
+/// struct-of-arrays ring buffers: one ring per `(stage, cell)` whose slots
+/// live in three parallel lanes — routing `tag`, `dest`ination, and
+/// `injected_at` time. The `id`/`source` header fields of [`Packet`] are
+/// never observable through the metrics, so they are not stored at all;
+/// the switching pass reads only the tag lane to arbitrate, and delivery
+/// reads only the destination and injection-time lanes.
 #[derive(Debug)]
 struct PacketQueues {
-    arena: RingArena<Packet>,
+    tag: Vec<u32>,
+    dest: Vec<u32>,
+    injected_at: Vec<u64>,
+    head: Vec<u32>,
+    len: Vec<u32>,
     stages: usize,
     cells: usize,
-    capacity: usize,
+    /// Logical per-ring capacity — the admission limit.
+    capacity: u32,
+    /// Power-of-two cursor wrap mask (storage is padded like [`RingArena`]).
+    mask: u32,
+    /// Ring stride shift into the slot lanes.
+    shift: u32,
 }
 
 impl PacketQueues {
     fn new(stages: usize, cells: usize, capacity: usize) -> Self {
+        assert!(
+            capacity > 0 && capacity < u32::MAX as usize,
+            "queue capacity {capacity}"
+        );
+        let storage = capacity.next_power_of_two();
+        let rings = stages * cells;
         PacketQueues {
-            arena: RingArena::new(stages * cells, capacity),
+            tag: vec![0; rings * storage],
+            dest: vec![0; rings * storage],
+            injected_at: vec![0; rings * storage],
+            head: vec![0; rings],
+            len: vec![0; rings],
             stages,
             cells,
-            capacity,
+            capacity: capacity as u32,
+            mask: storage as u32 - 1,
+            shift: storage.trailing_zeros(),
         }
     }
 
@@ -234,28 +294,80 @@ impl PacketQueues {
         stage * self.cells + cell
     }
 
+    #[inline]
+    fn slot(&self, r: usize, offset: u32) -> usize {
+        (r << self.shift) + ((self.head[r].wrapping_add(offset)) & self.mask) as usize
+    }
+
+    #[inline]
+    fn pop_front(&mut self, r: usize) -> Option<(u32, u32, u64)> {
+        if self.len[r] == 0 {
+            return None;
+        }
+        let s = self.slot(r, 0);
+        let v = (self.tag[s], self.dest[s], self.injected_at[s]);
+        self.head[r] = (self.head[r] + 1) & self.mask;
+        self.len[r] -= 1;
+        Some(v)
+    }
+
+    #[inline]
+    fn push_back(&mut self, r: usize, tag: u32, dest: u32, injected_at: u64) {
+        debug_assert!(self.len[r] < self.capacity, "ring {r} overflow");
+        let s = self.slot(r, self.len[r]);
+        self.tag[s] = tag;
+        self.dest[s] = dest;
+        self.injected_at[s] = injected_at;
+        self.len[r] += 1;
+    }
+
+    #[inline]
+    fn push_front(&mut self, r: usize, tag: u32, dest: u32, injected_at: u64) {
+        debug_assert!(self.len[r] < self.capacity, "ring {r} overflow");
+        self.head[r] = self.head[r].wrapping_add(self.mask) & self.mask;
+        let s = self.slot(r, 0);
+        self.tag[s] = tag;
+        self.dest[s] = dest;
+        self.injected_at[s] = injected_at;
+        self.len[r] += 1;
+    }
+
+    fn total_len(&self) -> u64 {
+        self.len.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Logical slot capacity (`rings × capacity`), excluding padding.
+    fn slot_count(&self) -> u64 {
+        self.head.len() as u64 * u64::from(self.capacity)
+    }
+
+    fn reset(&mut self) {
+        self.head.fill(0);
+        self.len.fill(0);
+    }
+
     fn deliver(&mut self, faults: &FaultView<'_>, cycle: u64, warmup: u64, metrics: &mut Metrics) {
         let last = self.stages - 1;
         let degraded = faults.any_active();
         for cell in 0..self.cells {
             let r = self.ring(last, cell);
             if faults.cell_dead(last, cell) {
-                while self.arena.pop_front(r).is_some() {
+                while self.pop_front(r).is_some() {
                     metrics.dropped_fault += 1;
                     metrics.record_fault_exposure(last);
                 }
                 continue;
             }
-            while let Some(p) = self.arena.pop_front(r) {
+            while let Some((_, dest, injected_at)) = self.pop_front(r) {
                 metrics.delivered += 1;
                 if degraded {
                     metrics.delivered_despite_fault += 1;
                 }
-                if p.destination as usize != cell {
+                if dest as usize != cell {
                     metrics.misrouted += 1;
                 }
-                if p.injected_at >= warmup {
-                    metrics.record_latency(cycle - p.injected_at);
+                if injected_at >= warmup {
+                    metrics.record_latency(cycle - injected_at);
                 }
             }
         }
@@ -277,7 +389,7 @@ impl PacketQueues {
                 let r = self.ring(s, cell);
                 // A switch that died takes its queued traffic with it.
                 if faults.cell_dead(s, cell) {
-                    while self.arena.pop_front(r).is_some() {
+                    while self.pop_front(r).is_some() {
                         metrics.dropped_fault += 1;
                         metrics.record_fault_exposure(s);
                     }
@@ -287,34 +399,42 @@ impl PacketQueues {
                 // cycle; only the two packets at the head of the queue are
                 // considered this cycle (FIFO order preserved).
                 let mut port_used = [false; 2];
-                let mut candidates = [Packet::default(); 2];
+                let mut cand_tag = [0u32; 2];
+                let mut cand_dest = [0u32; 2];
+                let mut cand_inj = [0u64; 2];
                 let mut count = 0;
                 while count < 2 {
-                    match self.arena.pop_front(r) {
-                        Some(p) => {
-                            candidates[count] = p;
+                    match self.pop_front(r) {
+                        Some((tag, dest, injected_at)) => {
+                            cand_tag[count] = tag;
+                            cand_dest[count] = dest;
+                            cand_inj[count] = injected_at;
                             count += 1;
                         }
                         None => break,
                     }
                 }
                 // Resolve same-port contention with a fair coin.
-                if count == 2
-                    && candidates[0].port_at(s) == candidates[1].port_at(s)
-                    && rng.gen_bool(0.5)
-                {
-                    candidates.swap(0, 1);
+                if count == 2 && ((cand_tag[0] ^ cand_tag[1]) >> s) & 1 == 0 && rng.gen_bool(0.5) {
+                    cand_tag.swap(0, 1);
+                    cand_dest.swap(0, 1);
+                    cand_inj.swap(0, 1);
                 }
-                let mut retained = [Packet::default(); 2];
+                let mut ret_tag = [0u32; 2];
+                let mut ret_dest = [0u32; 2];
+                let mut ret_inj = [0u64; 2];
                 let mut retained_count = 0;
-                for &packet in candidates.iter().take(count) {
-                    let port = packet.port_at(s) as usize;
+                for i in 0..count {
+                    let (tag, dest, injected_at) = (cand_tag[i], cand_dest[i], cand_inj[i]);
+                    let port = ((tag >> s) & 1) as usize;
                     if port_used[port] {
                         // Lost arbitration.
                         if unbuffered {
                             metrics.dropped_arbitration += 1;
                         } else {
-                            retained[retained_count] = packet;
+                            ret_tag[retained_count] = tag;
+                            ret_dest[retained_count] = dest;
+                            ret_inj[retained_count] = injected_at;
                             retained_count += 1;
                         }
                         continue;
@@ -334,7 +454,9 @@ impl PacketQueues {
                             if unbuffered {
                                 metrics.dropped_fault += 1;
                             } else {
-                                retained[retained_count] = packet;
+                                ret_tag[retained_count] = tag;
+                                ret_dest[retained_count] = dest;
+                                ret_inj[retained_count] = injected_at;
                                 retained_count += 1;
                             }
                             continue;
@@ -348,23 +470,25 @@ impl PacketQueues {
                         continue;
                     }
                     let nr = self.ring(s + 1, next);
-                    if self.arena.len(nr) < self.capacity {
+                    if self.len[nr] < self.capacity {
                         port_used[port] = true;
-                        self.arena.push_back(nr, packet);
+                        self.push_back(nr, tag, dest, injected_at);
                     } else if unbuffered {
                         metrics.dropped_backpressure += 1;
                     } else {
-                        retained[retained_count] = packet;
+                        ret_tag[retained_count] = tag;
+                        ret_dest[retained_count] = dest;
+                        ret_inj[retained_count] = injected_at;
                         retained_count += 1;
                     }
                 }
                 // Put retained packets back at the front, preserving order.
                 for i in (0..retained_count).rev() {
-                    self.arena.push_front(r, retained[i]);
+                    self.push_front(r, ret_tag[i], ret_dest[i], ret_inj[i]);
                 }
                 // In unbuffered mode nothing may linger in an interior queue.
                 if unbuffered && s > 0 {
-                    while self.arena.pop_front(r).is_some() {
+                    while self.pop_front(r).is_some() {
                         metrics.dropped_backpressure += 1;
                     }
                 }
@@ -373,12 +497,12 @@ impl PacketQueues {
     }
 
     fn can_accept(&self, cell: usize) -> bool {
-        self.arena.len(self.ring(0, cell)) < self.capacity
+        self.len[self.ring(0, cell)] < self.capacity
     }
 
     fn inject(&mut self, cell: usize, packet: Packet) {
         let r = self.ring(0, cell);
-        self.arena.push_back(r, packet);
+        self.push_back(r, packet.tag, packet.destination, packet.injected_at);
     }
 }
 
@@ -450,14 +574,15 @@ impl<const UNBUFFERED: bool> SwitchCore for PacketCore<UNBUFFERED> {
     }
 
     fn in_flight(&self) -> u64 {
-        self.queues.arena.total_len()
+        self.queues.total_len()
     }
 
     fn occupancy(&self) -> (u64, u64) {
-        (
-            self.queues.arena.total_len(),
-            self.queues.arena.slot_count(),
-        )
+        (self.queues.total_len(), self.queues.slot_count())
+    }
+
+    fn reset(&mut self) {
+        self.queues.reset();
     }
 }
 
@@ -798,6 +923,14 @@ impl SwitchCore for WormholeCore {
         let occupied = self.lane.iter().filter(|l| l.active).count() as u64;
         (occupied, self.lane.len() as u64)
     }
+
+    fn reset(&mut self) {
+        self.lane.fill(LaneState::default());
+        self.flits.reset();
+        self.in_flight = 0;
+        self.want_scratch[0].clear();
+        self.want_scratch[1].clear();
+    }
 }
 
 #[cfg(test)]
@@ -835,6 +968,53 @@ mod tests {
         assert_eq!(a.pop_front(0), Some(11));
         assert_eq!(a.total_len(), 0);
         assert_eq!(a.slot_count(), 4);
+    }
+
+    #[test]
+    fn ring_arena_padding_keeps_logical_capacity_and_reset_empties() {
+        // cap = 3 pads storage to 4, but admission and the occupancy
+        // denominator must still see 3 slots per ring.
+        let mut a: RingArena<u32> = RingArena::new(2, 3);
+        assert_eq!(a.slot_count(), 6);
+        a.push_back(0, 1);
+        a.push_back(0, 2);
+        a.push_back(0, 3);
+        assert!(a.is_full(0), "logical capacity, not padded storage");
+        a.push_back(1, 9);
+        a.reset();
+        assert!(a.is_empty(0) && a.is_empty(1));
+        assert_eq!(a.total_len(), 0);
+        a.push_back(0, 7);
+        assert_eq!(a.pop_front(0), Some(7));
+    }
+
+    #[test]
+    fn packet_cores_reset_to_empty() {
+        for mode in [BufferMode::Unbuffered, BufferMode::Fifo(3)] {
+            let mut core = build_core(mode, 3, 4);
+            core.inject(1, Packet::default());
+            assert_eq!(core.in_flight(), 1);
+            core.reset();
+            assert_eq!(core.in_flight(), 0);
+            assert_eq!(core.occupancy().0, 0);
+            assert!(core.can_accept(1));
+        }
+        let mut worm = WormholeCore::new(3, 4, 2, 2, 3);
+        worm.inject(1, Packet::default());
+        worm.inject(1, Packet::default());
+        assert_eq!(worm.in_flight(), 2);
+        worm.reset();
+        assert_eq!(worm.in_flight(), 0);
+        assert_eq!(worm.occupancy().0, 0);
+        assert!(worm.can_accept(1));
+    }
+
+    #[test]
+    fn fifo_core_occupancy_denominator_ignores_padding() {
+        // Fifo(3) queues hold 2·3 = 6 packets; padded storage is 8 per ring
+        // but the occupancy denominator must stay 6 per ring.
+        let core = FifoCore::new(3, 4, 3);
+        assert_eq!(core.occupancy().1, 3 * 4 * 6);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Offered-load saturation sweep over the unbuffered catalog.
+//!
+//! Expands a campaign grid — every classical family at n = 3..=max ×
+//! uniform traffic × an offered-load ladder from 0.1 to 1.0 — with enough
+//! replications per scenario that the word-packed `LaneEngine` carries the
+//! whole sweep, prints the per-scenario table, and writes the saturation
+//! curve (replication-averaged throughput/latency per family × size ×
+//! load) to `saturation.json`; the committed copy at the repository root
+//! is this example's default-argument output. The same `--seed` yields a
+//! byte-identical curve at any `--threads` value (the CI smoke job `cmp`s
+//! a single-thread rerun against the parallel one).
+//!
+//! Setting the `BENCH_QUICK` environment variable to anything but `0` or
+//! the empty string shrinks the grid (fewer loads, smaller fabrics,
+//! shorter runs) for smoke-test use; committed artifacts must come from a
+//! default run.
+//!
+//! ```text
+//! cargo run --release --example saturation_curve \
+//!     [-- --threads <T>] [--seed <S>] [--max-stages <B>] \
+//!     [--cycles <C>] [--out <path>]
+//! ```
+
+use baseline_equivalence::prelude::{run_campaign, CampaignConfig, CampaignReport};
+use std::fmt::Write as _;
+
+/// One grid point of the saturation curve, folded over its replications.
+#[derive(Default)]
+struct CurvePoint {
+    network: String,
+    stages: usize,
+    load: f64,
+    throughput_sum: f64,
+    mean_latency_sum: f64,
+    p99_latency: u64,
+    acceptance_sum: f64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Renders the replication-averaged saturation curve as deterministic JSON:
+/// one point per (family, stage count, offered load) grid cell, in the
+/// canonical grid-expansion order. Fixed-precision float formatting keeps
+/// the bytes reproducible across platforms and thread counts.
+fn curve_json(report: &CampaignReport, cycles: u64, replications: u32) -> String {
+    let mut points: Vec<CurvePoint> = Vec::new();
+    for r in &report.scenarios {
+        let s = &r.scenario;
+        // Replications of one grid point are adjacent in the canonical
+        // expansion (the replication axis is innermost), so grouping is a
+        // running fold over the result list.
+        let matches = points.last().is_some_and(|p| {
+            (p.network.as_str(), p.stages, p.load) == (s.network.name(), s.stages, s.offered_load)
+        });
+        if !matches {
+            points.push(CurvePoint {
+                network: s.network.name().to_string(),
+                stages: s.stages,
+                load: s.offered_load,
+                ..CurvePoint::default()
+            });
+        }
+        let p = points.last_mut().expect("just pushed");
+        p.throughput_sum += r.throughput;
+        p.mean_latency_sum += r.mean_latency;
+        p.p99_latency = p.p99_latency.max(r.p99_latency);
+        p.acceptance_sum += r.acceptance;
+        p.delivered += r.delivered;
+        p.dropped += r.dropped;
+    }
+    let reps = f64::from(replications);
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"cycles\":{cycles},\"replications\":{replications},\"points\":["
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"network\":\"{}\",\"stages\":{},\"load\":{:.2},\
+             \"throughput\":{:.6},\"mean_latency\":{:.4},\"p99_latency\":{},\
+             \"acceptance\":{:.6},\"delivered\":{},\"dropped\":{}}}",
+            p.network,
+            p.stages,
+            p.load,
+            p.throughput_sum / reps,
+            p.mean_latency_sum / reps,
+            p.p99_latency,
+            p.acceptance_sum / reps,
+            p.delivered,
+            p.dropped,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut seed = 0x1988u64;
+    let mut max_stages = if quick { 4 } else { 6 };
+    let mut cycles = if quick { 200 } else { 600 };
+    let mut out_path = String::from("saturation.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned();
+        let parse =
+            |what: &str, v: Option<String>| v.unwrap_or_else(|| panic!("missing value for {what}"));
+        match args[i].as_str() {
+            "--threads" => threads = parse("--threads", value).parse().expect("thread count"),
+            "--seed" => seed = parse("--seed", value).parse().expect("seed"),
+            "--max-stages" => max_stages = parse("--max-stages", value).parse().expect("stages"),
+            "--cycles" => cycles = parse("--cycles", value).parse().expect("cycles"),
+            "--out" => out_path = parse("--out", value),
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 2;
+    }
+
+    // The load ladder: the saturation knee of an unbuffered banyan sits
+    // well below 1.0, so the ladder is densest where the curve bends.
+    let loads: Vec<f64> = if quick {
+        vec![0.2, 0.6, 1.0]
+    } else {
+        (1..=10).map(|step| f64::from(step) / 10.0).collect()
+    };
+    // Enough replications that every scenario rides the word-packed lane
+    // engine (the batching layer needs at least its lane threshold) and
+    // the per-point statistics stabilize.
+    let replications = if quick { 16 } else { 32 };
+
+    let config = CampaignConfig::over_catalog(3..=max_stages)
+        .with_seed(seed)
+        .with_loads(loads)
+        .with_replications(replications)
+        .with_cycles(cycles, cycles / 10);
+
+    println!(
+        "== Saturation sweep: {} catalog cells × {} loads × {} replications = {} scenarios (seed {seed:#x}) ==\n",
+        config.cells.len(),
+        config.loads.len(),
+        config.replications,
+        config.scenario_count(),
+    );
+
+    let started = std::time::Instant::now();
+    let report = match run_campaign(&config, threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("saturation sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    print!("{}", report.summary_table());
+    let a = &report.aggregate;
+    println!(
+        "\nsaturation: mean throughput {:.4} · worst mean latency {:.2} cy · worst p99 {} cy",
+        a.mean_throughput, a.worst_mean_latency, a.worst_p99_latency
+    );
+    println!(
+        "completed in {:.2?} with {} worker thread(s) requested",
+        elapsed,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+
+    std::fs::write(&out_path, curve_json(&report, cycles, replications))
+        .expect("write saturation curve");
+    println!("curve written to {out_path}");
+}

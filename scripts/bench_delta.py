@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Render a median-delta table between two bench-median artifacts.
 
-Usage: bench_delta.py PREVIOUS CURRENT
+Usage: bench_delta.py [--fail-threshold PCT] PREVIOUS CURRENT
 
 PREVIOUS is a directory (searched recursively for ``BENCH_*.json``) or a
 single file; CURRENT is the ``BENCH_*.json`` produced by this run. Both hold
@@ -10,14 +10,22 @@ the vendored criterion's JSON lines::
     {"name": "...", "median_ns": 123.4, "throughput_per_sec": 567.8}
 
 The script writes a GitHub-flavoured markdown table to stdout (pipe it into
-``$GITHUB_STEP_SUMMARY``) and emits a ``::warning`` workflow annotation for
-every benchmark whose median regressed by more than REGRESSION_PCT.
-Regression warnings are advisory and never fail the job (bench-smoke
-machines are shared runners). **Malformed input is a hard error**, though:
-a JSON line that does not parse, or parses without a usable ``name`` /
-``median_ns``, exits nonzero instead of silently rendering an empty table —
-an empty table caused by a corrupt artifact must not masquerade as "no
-benchmarks ran". A missing PREVIOUS artifact stays fine (first run).
+``$GITHUB_STEP_SUMMARY``) and emits a workflow annotation for every
+benchmark whose median regressed by more than REGRESSION_PCT.
+
+Without ``--fail-threshold``, every regression is an advisory ``::warning``
+and the job never fails (bench-smoke machines are shared runners). With
+``--fail-threshold PCT``, benchmarks on the gated allowlist
+(GATED_PREFIXES — the engine hot paths, whose seconds-long medians are
+stable even on shared runners) escalate to ``::error`` and a nonzero exit
+when they regress past PCT; everything else stays warn-only at
+REGRESSION_PCT.
+
+**Malformed input is a hard error** in both modes: a JSON line that does
+not parse, or parses without a usable ``name`` / ``median_ns``, exits
+nonzero instead of silently rendering an empty table — an empty table
+caused by a corrupt artifact must not masquerade as "no benchmarks ran".
+A missing PREVIOUS artifact stays fine (first run).
 """
 
 import json
@@ -26,6 +34,20 @@ import pathlib
 import sys
 
 REGRESSION_PCT = 25.0
+
+# Benchmarks (by group-name prefix) that hard-fail under --fail-threshold:
+# the simulation-engine hot paths this repository's perf work targets.
+# Micro-benches over sub-microsecond kernels stay advisory — their medians
+# jitter far more than any real regression on shared runners.
+GATED_PREFIXES = (
+    "lane_engine_",
+    "simulator_",
+)
+
+
+def is_gated(name: str) -> bool:
+    """Whether a benchmark participates in hard-fail regression gating."""
+    return name.startswith(GATED_PREFIXES)
 
 
 class MalformedInput(Exception):
@@ -71,13 +93,39 @@ def fmt_ns(ns: float) -> str:
     return f"{ns:.0f} ns"
 
 
+def parse_args(argv: list) -> tuple:
+    """(previous, current, fail_threshold or None); exits on bad usage."""
+    fail_threshold = None
+    positional = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--fail-threshold":
+            if i + 1 >= len(argv):
+                raise SystemExit(f"{argv[0]}: --fail-threshold needs a value")
+            try:
+                fail_threshold = float(argv[i + 1])
+            except ValueError:
+                raise SystemExit(
+                    f"{argv[0]}: --fail-threshold must be a number, "
+                    f"got {argv[i + 1]!r}"
+                ) from None
+            if fail_threshold <= 0:
+                raise SystemExit(f"{argv[0]}: --fail-threshold must be positive")
+            i += 2
+        else:
+            positional.append(arg)
+            i += 1
+    if len(positional) != 2:
+        raise SystemExit(f"usage: {argv[0]} [--fail-threshold PCT] PREVIOUS CURRENT")
+    return positional[0], positional[1], fail_threshold
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
-        return 2
+    prev_path, cur_path, fail_threshold = parse_args(sys.argv)
     try:
-        previous = load_medians(pathlib.Path(sys.argv[1]))
-        current = load_medians(pathlib.Path(sys.argv[2]))
+        previous = load_medians(pathlib.Path(prev_path))
+        current = load_medians(pathlib.Path(cur_path))
     except MalformedInput as exc:
         print(f"error: malformed benchmark medians: {exc}", file=sys.stderr)
         return 1
@@ -103,15 +151,19 @@ def main() -> int:
 
     print("| benchmark | previous | current | delta |")
     print("|---|---:|---:|---:|")
-    regressions = []
+    warnings = []
+    failures = []
     for name in common:
         cur = current[name]
         prev = previous[name]
         delta = (cur - prev) / prev * 100.0
         marker = ""
-        if delta > REGRESSION_PCT:
+        if fail_threshold is not None and is_gated(name) and delta > fail_threshold:
+            marker = " ❌"
+            failures.append((name, delta))
+        elif delta > REGRESSION_PCT:
             marker = " ⚠️"
-            regressions.append((name, delta))
+            warnings.append((name, delta))
         print(f"| `{name}` | {fmt_ns(prev)} | {fmt_ns(cur)} | {delta:+.1f}%{marker} |")
     for name in added:
         print(f"| `{name}` | — | {fmt_ns(current[name])} | new |")
@@ -123,15 +175,25 @@ def main() -> int:
         print(f"\n**Removed benchmarks ({len(removed)}):** "
               + ", ".join(f"`{n}`" for n in removed))
 
-    # Annotate (never fail) on regressions past the threshold; shared-runner
-    # noise makes these advisory.
-    for name, delta in regressions:
+    # Advisory annotations for regressions outside the gated set (or for
+    # every regression when no fail threshold was requested) — shared-runner
+    # noise makes these warn-only.
+    for name, delta in warnings:
         print(
             f"::warning title=Bench regression::{name} median regressed "
             f"{delta:+.1f}% vs. the previous run (threshold {REGRESSION_PCT:.0f}%)",
             file=sys.stderr,
         )
-    return 0
+    # Gated engine benches hard-fail: their multi-second medians are stable
+    # enough that a regression past the threshold is a real one.
+    for name, delta in failures:
+        print(
+            f"::error title=Bench regression::{name} median regressed "
+            f"{delta:+.1f}% vs. the previous run "
+            f"(gated fail threshold {fail_threshold:.0f}%)",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

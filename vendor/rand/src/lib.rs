@@ -156,6 +156,11 @@ fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
         return 0;
     }
     if span.is_power_of_two() {
+        if let Ok(mask) = u64::try_from(span - 1) {
+            // One u64 draw covers the whole span; masking a power of two
+            // is exact, so no rejection and no second word are needed.
+            return u128::from(rng.next_u64() & mask);
+        }
         return u128::sample_standard(rng) & (span - 1);
     }
     let zone = u128::MAX - (u128::MAX - span + 1) % span;
@@ -201,7 +206,14 @@ pub trait Rng: RngCore {
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     fn gen_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
-        f64::sample_standard(self) < p
+        // Integer form of `f64::sample_standard(self) < p`: with
+        // y = next_u64 >> 11, the sampled float y * 2^-53 is exact (a
+        // power-of-two scaling of an integer below 2^53), so the comparison
+        // y * 2^-53 < p holds iff y < ceil(p * 2^53) — and p * 2^53 is
+        // itself exact for p in [0, 1]. Same draw, same outcome, but the
+        // threshold is a loop-hoistable constant when p is invariant.
+        let threshold = (p * (1u64 << 53) as f64).ceil() as u64;
+        (self.next_u64() >> 11) < threshold
     }
 
     /// Fills `dest` with random data (byte slices only in this subset).
