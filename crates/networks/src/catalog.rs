@@ -98,8 +98,10 @@ impl ClassicalNetwork {
 /// stage counts ascending within each family).
 ///
 /// This is the enumeration the campaign runner (`min-sim::campaign`) and the
-/// sweep benchmarks build their work queues from.
-pub fn catalog_grid(stages: std::ops::RangeInclusive<usize>) -> Vec<(ClassicalNetwork, usize)> {
+/// sweep benchmarks build their work queues from. Since the `NetworkSpec`
+/// redesign it returns [`crate::spec::NetworkSpec`] cells; each serializes
+/// byte-for-byte like the `(ClassicalNetwork, usize)` tuple it replaced.
+pub fn catalog_grid(stages: std::ops::RangeInclusive<usize>) -> Vec<crate::spec::NetworkSpec> {
     grid(&ClassicalNetwork::ALL, stages)
 }
 
@@ -108,10 +110,14 @@ pub fn catalog_grid(stages: std::ops::RangeInclusive<usize>) -> Vec<(ClassicalNe
 pub fn grid(
     families: &[ClassicalNetwork],
     stages: std::ops::RangeInclusive<usize>,
-) -> Vec<(ClassicalNetwork, usize)> {
+) -> Vec<crate::spec::NetworkSpec> {
     families
         .iter()
-        .flat_map(|&kind| stages.clone().map(move |n| (kind, n)))
+        .flat_map(|&kind| {
+            stages
+                .clone()
+                .map(move |n| crate::spec::NetworkSpec::catalog(kind, n))
+        })
         .collect()
 }
 
@@ -164,13 +170,17 @@ mod tests {
         let cells = catalog_grid(3..=5);
         assert_eq!(cells.len(), 6 * 3);
         // Family-major: the first three cells are the Baseline at n = 3, 4, 5.
+        // The tuple comparisons exercise the legacy-shim `PartialEq`.
         assert_eq!(cells[0], (ClassicalNetwork::Baseline, 3));
         assert_eq!(cells[1], (ClassicalNetwork::Baseline, 4));
         assert_eq!(cells[2], (ClassicalNetwork::Baseline, 5));
-        assert_eq!(cells[3].0, ClassicalNetwork::ReverseBaseline);
+        assert_eq!(
+            cells[3],
+            crate::spec::NetworkSpec::catalog(ClassicalNetwork::ReverseBaseline, 3)
+        );
         // Every cell builds a network of the requested size.
-        for (kind, n) in cells {
-            assert_eq!(kind.build(n).stages(), n);
+        for spec in cells {
+            assert_eq!(spec.build().stages(), spec.stages());
         }
     }
 
@@ -178,10 +188,9 @@ mod tests {
     #[allow(clippy::reversed_empty_ranges)]
     fn grid_respects_the_given_family_subset() {
         let cells = grid(&[ClassicalNetwork::Omega, ClassicalNetwork::Flip], 4..=4);
-        assert_eq!(
-            cells,
-            vec![(ClassicalNetwork::Omega, 4), (ClassicalNetwork::Flip, 4)]
-        );
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0], (ClassicalNetwork::Omega, 4));
+        assert_eq!(cells[1], (ClassicalNetwork::Flip, 4));
         assert!(grid(&[], 3..=5).is_empty());
         assert!(catalog_grid(5..=3).is_empty());
     }

@@ -10,11 +10,12 @@
 //! and with it the classification report — depends only on the grid, never
 //! on thread scheduling.
 
-use crate::catalog::{catalog_grid, ClassicalNetwork};
+use crate::catalog::catalog_grid;
 use crate::random::{
     random_buddy_network, random_independent_banyan, random_link_permutation_network,
     random_pipid_network,
 };
+use crate::spec::NetworkSpec;
 use min_core::classify::{derive_seed, Subject};
 use min_core::ConnectionNetwork;
 use rand::SeedableRng;
@@ -85,9 +86,10 @@ pub struct ClassificationGrid {
     /// Master seed; every subject derives its own seed from this and its
     /// index.
     pub campaign_seed: u64,
-    /// The (classical family, stage count) cells, e.g. from
-    /// [`catalog_grid`].
-    pub catalog: Vec<(ClassicalNetwork, usize)>,
+    /// The deterministic network specs, e.g. from [`catalog_grid`] — since
+    /// the `NetworkSpec` redesign these can also name Benes, its variant,
+    /// and rewritten catalog members.
+    pub catalog: Vec<NetworkSpec>,
     /// Random families swept after the catalog cells.
     pub random_families: Vec<RandomFamily>,
     /// Stage counts swept per random family.
@@ -115,9 +117,10 @@ impl ClassificationGrid {
         self
     }
 
-    /// Builder-style setter for the catalog cells.
-    pub fn with_catalog(mut self, catalog: Vec<(ClassicalNetwork, usize)>) -> Self {
-        self.catalog = catalog;
+    /// Builder-style setter for the deterministic cells. Accepts both
+    /// [`NetworkSpec`]s and legacy `(ClassicalNetwork, usize)` tuples.
+    pub fn with_catalog<S: Into<NetworkSpec>>(mut self, catalog: Vec<S>) -> Self {
+        self.catalog = catalog.into_iter().map(Into::into).collect();
         self
     }
 
@@ -148,18 +151,23 @@ impl ClassificationGrid {
     ///
     /// Panics if any stage count is outside the buildable range `2..=32`.
     pub fn subjects(&self) -> Vec<Subject> {
-        for &(_, n) in &self.catalog {
+        for spec in &self.catalog {
+            let n = spec.stages();
             assert!((2..=32).contains(&n), "catalog stage count {n} unbuildable");
         }
         for &n in &self.random_stages {
             assert!((2..=32).contains(&n), "random stage count {n} unbuildable");
         }
         let mut out = Vec::with_capacity(self.subject_count());
-        for &(kind, stages) in &self.catalog {
+        for &spec in &self.catalog {
             let seed = derive_seed(self.campaign_seed, out.len());
-            out.push(Subject::new(kind.name(), stages, 0, seed, move || {
-                kind.build(stages)
-            }));
+            out.push(Subject::new(
+                spec.name(),
+                spec.stages(),
+                0,
+                seed,
+                move || spec.build(),
+            ));
         }
         for &family in &self.random_families {
             for &stages in &self.random_stages {
@@ -182,6 +190,7 @@ impl ClassificationGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::ClassicalNetwork;
     use min_core::classify::classify_subjects;
 
     #[test]

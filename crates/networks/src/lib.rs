@@ -22,7 +22,13 @@
 //!   Baseline-equivalent (the point of reference \[10\]);
 //! * [`faulty`] — damaged variants of the catalog networks (dead links,
 //!   dead switches, stuck cells) feeding the fault-tolerance analysis of
-//!   `min-routing` and the fault-injection campaigns of `min-sim`.
+//!   `min-routing` and the fault-injection campaigns of `min-sim`;
+//! * [`rearrangeable`] — the constructions *outside* the unique-path scope:
+//!   the Benes network, its 2024 shuffle-based variant, and
+//!   fundamental-arrangement rewrites of catalog members;
+//! * [`spec`] — [`spec::NetworkSpec`], the serializable, versioned network
+//!   description both campaign runners consume (the replacement for the old
+//!   `(ClassicalNetwork, usize)` tuples).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +40,8 @@ pub mod classify_grid;
 pub mod counterexample;
 pub mod faulty;
 pub mod random;
+pub mod rearrangeable;
+pub mod spec;
 
 pub use builder::NetworkBuilder;
 pub use catalog::{catalog_grid, ClassicalNetwork};
@@ -42,3 +50,5 @@ pub use classical::{
 };
 pub use classify_grid::{ClassificationGrid, RandomFamily};
 pub use faulty::{dead_link_digraph, dead_switch_digraph, link_sites, stuck_cell};
+pub use rearrangeable::{benes, benes_entry_half, benes_exit_half, benes_variant, Rewrite};
+pub use spec::NetworkSpec;

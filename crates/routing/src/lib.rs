@@ -18,6 +18,11 @@
 //!   disjoint paths when links or switches die, with a typed
 //!   [`disjoint::FaultRoute::Unroutable`] outcome when a pair's last path
 //!   is severed;
+//! * [`looping`] — the looping algorithm: conflict-free switch settings for
+//!   any full permutation on rearrangeable (Benes-structured) fabrics;
+//! * [`router`] — the [`router::Router`] trait unifying delta, multi-path,
+//!   fault-avoiding and permutation-configured routing behind one
+//!   per-scenario interface;
 //! * [`analysis`] — aggregate admissibility statistics (exhaustive for small
 //!   `N`, Monte-Carlo beyond) used to demonstrate that topologically
 //!   equivalent networks have identical admissibility *profiles* up to
@@ -28,9 +33,14 @@
 
 pub mod analysis;
 pub mod disjoint;
+pub mod looping;
 pub mod path;
 pub mod permutation_routing;
+pub mod router;
 pub mod tag;
+
+pub use looping::{loop_setup, LoopingError, LoopingSetting};
+pub use router::{DeltaRouter, LoopingRouter, MultiPathRouter, Router};
 
 pub use disjoint::{
     all_paths, disjoint_path_count, disjoint_paths, path_diversity_histogram, path_tag,

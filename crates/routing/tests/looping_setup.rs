@@ -1,0 +1,68 @@
+//! Property tests for the looping algorithm: on Benes fabrics up to n = 6,
+//! **every** full terminal permutation admits a conflict-free switch
+//! setting, and the setting the algorithm returns realises exactly the
+//! requested permutation — the rearrangeability theorem the construction
+//! exists for, checked sample by sample.
+
+use min_networks::rearrangeable::{benes, benes_variant};
+use min_routing::looping::{loop_setup, LoopingError};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A uniformly random permutation of the `terminals` terminal labels.
+fn random_permutation(terminals: usize, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..terminals as u32).collect();
+    perm.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random full permutations on Benes(n), n ≤ 6: the setup succeeds and
+    /// the setting is conflict-free (no two circuits share a link) with
+    /// every terminal delivered to its requested destination.
+    #[test]
+    fn looping_configures_random_permutations_on_benes(n in 2usize..=6, seed in any::<u64>()) {
+        let net = benes(n);
+        let perm = random_permutation(2 * net.cells_per_stage(), seed);
+        let setting = loop_setup(&net, &perm).expect("Benes is rearrangeable");
+        prop_assert_eq!(setting.destinations.clone(), perm);
+        prop_assert!(setting.verify(&net), "conflicting or misrouted setting");
+    }
+
+    /// The 2024 shuffle-based variant is rearrangeable too: same guarantee
+    /// through the same algorithm.
+    #[test]
+    fn looping_configures_random_permutations_on_the_variant(n in 2usize..=5, seed in any::<u64>()) {
+        let net = benes_variant(n);
+        let perm = random_permutation(2 * net.cells_per_stage(), seed);
+        let setting = loop_setup(&net, &perm).expect("the Benes variant is rearrangeable");
+        prop_assert_eq!(setting.destinations.clone(), perm);
+        prop_assert!(setting.verify(&net), "conflicting or misrouted setting");
+    }
+
+    /// Malformed patterns are typed errors, never panics: a repeated
+    /// destination is `NotPermutation`, a truncated one `WrongLength`.
+    #[test]
+    fn malformed_patterns_are_typed_errors(n in 2usize..=4, seed in any::<u64>()) {
+        let net = benes(n);
+        let terminals = 2 * net.cells_per_stage();
+        let mut repeated = random_permutation(terminals, seed);
+        repeated[0] = repeated[1];
+        prop_assert!(matches!(
+            loop_setup(&net, &repeated).unwrap_err(),
+            LoopingError::NotPermutation { .. }
+        ));
+        let short = random_permutation(terminals - 1, seed);
+        prop_assert_eq!(
+            loop_setup(&net, &short).unwrap_err(),
+            LoopingError::WrongLength {
+                expected: terminals,
+                found: terminals - 1
+            }
+        );
+    }
+}

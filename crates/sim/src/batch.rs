@@ -54,7 +54,11 @@ pub fn run_replications(
     if seeds.is_empty() {
         return Ok(Vec::new());
     }
-    if packed_eligible(config, net.stages(), seeds.len()) {
+    // The packed engine is destination-tag only; a non-delta fabric (e.g.
+    // Benes under permutation traffic) falls back to the scalar router path.
+    if packed_eligible(config, net.stages(), seeds.len())
+        && min_routing::destination_tags(net).is_some()
+    {
         let mut out = Vec::with_capacity(seeds.len());
         for chunk in seeds.chunks(LANE_WIDTH) {
             out.extend(LaneEngine::new(net.clone(), config.clone(), chunk)?.run());

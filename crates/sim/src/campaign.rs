@@ -58,7 +58,7 @@ use crate::fabric::FabricError;
 use crate::fault::{FaultError, FaultPlan};
 use crate::metrics::Metrics;
 use crate::traffic::TrafficPattern;
-use min_networks::{catalog_grid, ClassicalNetwork};
+use min_networks::{catalog_grid, ClassicalNetwork, NetworkSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -75,9 +75,12 @@ pub struct CampaignConfig {
     /// Master seed; every scenario derives its own seed from this and its
     /// index (see [`scenario_seed`]).
     pub campaign_seed: u64,
-    /// The (network family, stage count) cells of the grid, e.g. from
-    /// [`min_networks::catalog_grid`].
-    pub cells: Vec<(ClassicalNetwork, usize)>,
+    /// The network cells of the grid, e.g. from
+    /// [`min_networks::catalog_grid`]. Since the [`NetworkSpec`] redesign
+    /// these can also name Benes, its shuffle variant, and rewritten
+    /// catalog members; catalog cells serialize byte-for-byte like the
+    /// `(ClassicalNetwork, usize)` tuples they replaced.
+    pub cells: Vec<NetworkSpec>,
     /// Traffic patterns swept per cell.
     pub traffic: Vec<TrafficPattern>,
     /// Offered loads swept per (cell, traffic) pair, each in `[0, 1]`.
@@ -129,9 +132,10 @@ impl CampaignConfig {
         self
     }
 
-    /// Builder-style setter for the grid cells.
-    pub fn with_cells(mut self, cells: Vec<(ClassicalNetwork, usize)>) -> Self {
-        self.cells = cells;
+    /// Builder-style setter for the grid cells. Accepts both
+    /// [`NetworkSpec`]s and legacy `(ClassicalNetwork, usize)` tuples.
+    pub fn with_cells<S: Into<NetworkSpec>>(mut self, cells: Vec<S>) -> Self {
+        self.cells = cells.into_iter().map(Into::into).collect();
         self
     }
 
@@ -195,9 +199,11 @@ impl CampaignConfig {
         if self.cells.is_empty() {
             return Err(CampaignError::EmptyAxis("cells"));
         }
-        for &(_, stages) in &self.cells {
+        for spec in &self.cells {
             // A MIN needs at least two stages, and the simulator addresses
-            // N = 2^stages terminals with a usize.
+            // the terminals with a usize. For catalog cells `stages` is the
+            // classical `n`; Benes cells report their full `2n - 1` depth.
+            let stages = spec.stages();
             if !(2..=32).contains(&stages) {
                 return Err(CampaignError::InvalidStages(stages));
             }
@@ -218,16 +224,19 @@ impl CampaignConfig {
             return Err(CampaignError::EmptyAxis("fault_plans"));
         }
         for (plan_index, plan) in self.fault_plans.iter().enumerate() {
-            // Every plan must fit every grid cell (stage counts were
-            // range-checked above, so `1 << (stages - 1)` cannot overflow).
-            for &(_, stages) in &self.cells {
-                plan.validate(stages, 1 << (stages - 1)).map_err(|error| {
-                    CampaignError::InvalidFaultPlan {
+            // Every plan must fit every grid cell, checked against the
+            // cell's *actual* geometry. (The pre-`NetworkSpec` code derived
+            // the cell count as `1 << (stages - 1)`, which is wrong for a
+            // Benes cell: its 2n-1 stages hold only 2^(n-1) cells, so an
+            // out-of-range fault site would have slipped through validation
+            // and panicked inside a worker thread.)
+            for spec in &self.cells {
+                plan.validate(spec.stages(), spec.cells_per_stage())
+                    .map_err(|error| CampaignError::InvalidFaultPlan {
                         plan: plan_index,
-                        stages,
+                        stages: spec.stages(),
                         error,
-                    }
-                })?;
+                    })?;
             }
         }
         if self.replications == 0 {
@@ -260,7 +269,7 @@ impl CampaignConfig {
     pub fn scenarios(&self) -> Result<Vec<Scenario>, CampaignError> {
         self.validate()?;
         let mut out = Vec::with_capacity(self.scenario_count());
-        for &(network, stages) in &self.cells {
+        for &network in &self.cells {
             for traffic in &self.traffic {
                 for &offered_load in &self.loads {
                     for &buffer_mode in &self.buffer_modes {
@@ -270,7 +279,7 @@ impl CampaignConfig {
                                 out.push(Scenario {
                                     index,
                                     network,
-                                    stages,
+                                    stages: network.stages(),
                                     traffic: traffic.clone(),
                                     offered_load,
                                     buffer_mode,
@@ -290,13 +299,14 @@ impl CampaignConfig {
 
 /// One fully specified `(network, traffic, load, buffer mode, fault plan,
 /// replication)` run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Position in the canonical grid expansion.
     pub index: usize,
-    /// Network family.
-    pub network: ClassicalNetwork,
-    /// Stage count `n` (the network has `N = 2^n` terminals).
+    /// The network being simulated.
+    pub network: NetworkSpec,
+    /// Stage count of the fabric (echoes [`NetworkSpec::stages`]): the
+    /// classical `n` for catalog cells, `2n - 1` for Benes cells.
     pub stages: usize,
     /// Traffic pattern.
     pub traffic: TrafficPattern,
@@ -310,6 +320,61 @@ pub struct Scenario {
     pub replication: u32,
     /// Derived ChaCha8 seed for this scenario.
     pub seed: u64,
+}
+
+// Hand-written (de)serialization pinning the pre-`NetworkSpec` report
+// layout: a catalog cell renders its `network` field as the bare family
+// name (`"network":"Omega","stages":3`), exactly as the old
+// `network: ClassicalNetwork` field did, so existing campaign JSON — and
+// the CI byte-for-byte determinism gate — is unaffected. Non-catalog cells
+// render the spec's tagged form (`"network":{"Benes":{"n":3}}`).
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        let network = match self.network {
+            NetworkSpec::Catalog { family, .. } => family.to_value(),
+            spec => spec.to_value(),
+        };
+        serde::Value::Map(vec![
+            (String::from("index"), self.index.to_value()),
+            (String::from("network"), network),
+            (String::from("stages"), self.stages.to_value()),
+            (String::from("traffic"), self.traffic.to_value()),
+            (String::from("offered_load"), self.offered_load.to_value()),
+            (String::from("buffer_mode"), self.buffer_mode.to_value()),
+            (String::from("fault_plan"), self.fault_plan.to_value()),
+            (String::from("replication"), self.replication.to_value()),
+            (String::from("seed"), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("Scenario: expected a map"))?;
+        let stages: usize = Deserialize::from_value(serde::map_get(entries, "stages")?)?;
+        let network_value = serde::map_get(entries, "network")?;
+        let network = match network_value {
+            // Legacy catalog rendering: the bare family name, with the
+            // stage count in the sibling `stages` field.
+            serde::Value::Str(_) => {
+                NetworkSpec::catalog(ClassicalNetwork::from_value(network_value)?, stages)
+            }
+            _ => NetworkSpec::from_value(network_value)?,
+        };
+        Ok(Scenario {
+            index: Deserialize::from_value(serde::map_get(entries, "index")?)?,
+            network,
+            stages,
+            traffic: Deserialize::from_value(serde::map_get(entries, "traffic")?)?,
+            offered_load: Deserialize::from_value(serde::map_get(entries, "offered_load")?)?,
+            buffer_mode: Deserialize::from_value(serde::map_get(entries, "buffer_mode")?)?,
+            fault_plan: Deserialize::from_value(serde::map_get(entries, "fault_plan")?)?,
+            replication: Deserialize::from_value(serde::map_get(entries, "replication")?)?,
+            seed: Deserialize::from_value(serde::map_get(entries, "seed")?)?,
+        })
+    }
 }
 
 impl Scenario {
@@ -597,22 +662,21 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// Per-(family, stage-count) disjoint-path diversity histograms, computed
-/// once per grid cell before the fan-out (the histogram depends only on the
-/// topology, not on the traffic/load/mode/plan axes). Cells above 8 stages
-/// are skipped — the per-pair analysis is quadratic in the cell count.
-type DiversityMap = std::collections::HashMap<(ClassicalNetwork, usize), Vec<u64>>;
+/// Per-cell disjoint-path diversity histograms, computed once per grid cell
+/// before the fan-out (the histogram depends only on the topology, not on
+/// the traffic/load/mode/plan axes). Cells above 8 stages are skipped — the
+/// per-pair analysis is quadratic in the cell count.
+type DiversityMap = std::collections::HashMap<NetworkSpec, Vec<u64>>;
 
 fn diversity_map(config: &CampaignConfig) -> DiversityMap {
     let mut map = DiversityMap::new();
     if config.fault_plans.iter().all(FaultPlan::is_empty) {
         return map;
     }
-    for &(network, stages) in &config.cells {
-        if stages <= 8 {
-            map.entry((network, stages)).or_insert_with(|| {
-                min_routing::disjoint::path_diversity_histogram(&network.build(stages))
-            });
+    for &spec in &config.cells {
+        if spec.stages() <= 8 {
+            map.entry(spec)
+                .or_insert_with(|| min_routing::disjoint::path_diversity_histogram(&spec.build()));
         }
     }
     map
@@ -648,7 +712,7 @@ fn scenario_result(
     metrics: &Metrics,
     path_diversity: Vec<u64>,
 ) -> ScenarioResult {
-    let terminals = 1usize << scenario.stages;
+    let terminals = scenario.network.terminals();
     ScenarioResult {
         scenario: scenario.clone(),
         throughput: metrics.normalized_throughput(terminals),
@@ -684,14 +748,11 @@ fn run_grid_point(
     diversity: &DiversityMap,
 ) -> Result<Vec<ScenarioResult>, CampaignError> {
     let first = &group[0];
-    let net = first.network.build(first.stages);
+    let net = first.network.build();
     let path_diversity = if first.fault_plan.is_empty() {
         Vec::new()
     } else {
-        diversity
-            .get(&(first.network, first.stages))
-            .cloned()
-            .unwrap_or_default()
+        diversity.get(&first.network).cloned().unwrap_or_default()
     };
     let config = first.sim_config(campaign);
     let seeds: Vec<u64> = group.iter().map(|s| s.seed).collect();
@@ -963,7 +1024,10 @@ mod tests {
             CampaignError::EmptyAxis("loads")
         );
         assert_eq!(
-            tiny().with_cells(vec![]).scenarios().unwrap_err(),
+            tiny()
+                .with_cells(Vec::<NetworkSpec>::new())
+                .scenarios()
+                .unwrap_err(),
             CampaignError::EmptyAxis("cells")
         );
         assert_eq!(
@@ -1047,7 +1111,7 @@ mod tests {
         let report = run_campaign(&cfg, 3).unwrap();
         assert_eq!(report.to_json(), run_campaign(&cfg, 1).unwrap().to_json());
         for r in &report.scenarios {
-            let net = r.scenario.network.build(r.scenario.stages);
+            let net = r.scenario.network.build();
             let metrics = crate::engine::simulate(net, r.scenario.sim_config(&cfg)).unwrap();
             assert_eq!(r.delivered, metrics.delivered, "{:?}", r.scenario);
             assert_eq!(r.offered, metrics.offered, "{:?}", r.scenario);
@@ -1101,6 +1165,92 @@ mod tests {
         let json = report.to_json();
         let back: CampaignReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn legacy_tuple_grids_keep_their_pre_spec_json_layout() {
+        // Old-style `(ClassicalNetwork, usize)` grids flow through the
+        // `From` shim, and both the config and the report must render
+        // byte-for-byte as they did before the `NetworkSpec` redesign:
+        // tuple cells as two-element arrays, scenario networks as the bare
+        // family name next to a `stages` field.
+        let cfg = CampaignConfig::over_catalog(3..=3)
+            .with_cells(vec![
+                (ClassicalNetwork::Omega, 3),
+                (ClassicalNetwork::ReverseBaseline, 4),
+            ])
+            .with_cycles(40, 0);
+        let cfg_json = serde_json::to_string(&cfg).unwrap();
+        assert!(
+            cfg_json.contains("\"cells\":[[\"Omega\",3],[\"ReverseBaseline\",4]]"),
+            "{cfg_json}"
+        );
+        let back: CampaignConfig = serde_json::from_str(&cfg_json).unwrap();
+        assert_eq!(back, cfg);
+
+        let report = run_campaign(&cfg, 2).unwrap();
+        let json = report.to_json();
+        assert!(
+            json.contains("\"network\":\"Omega\",\"stages\":3"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"network\":\"ReverseBaseline\",\"stages\":4"),
+            "{json}"
+        );
+        assert_eq!(CampaignReport::from_json(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn benes_scenarios_render_the_tagged_spec_and_round_trip() {
+        let cfg = CampaignConfig::over_catalog(3..=3)
+            .with_cells(vec![NetworkSpec::benes(3)])
+            .with_traffic(vec![TrafficPattern::Permutation(vec![2, 3, 0, 1])])
+            .with_loads(vec![1.0])
+            .with_cycles(40, 0);
+        let report = run_campaign(&cfg, 1).unwrap();
+        let json = report.to_json();
+        assert!(
+            json.contains("\"network\":{\"Benes\":{\"n\":3}},\"stages\":5"),
+            "{json}"
+        );
+        assert_eq!(CampaignReport::from_json(&json).unwrap(), report);
+        // Conflict-free circuits: full-load permutation traffic through the
+        // looping-configured Benes never drops to arbitration.
+        for r in &report.scenarios {
+            assert_eq!(r.scenario.network, NetworkSpec::benes(3));
+            assert_eq!(r.dropped_arbitration, 0, "{r:?}");
+            assert_eq!(r.unroutable_drops, 0, "{r:?}");
+            assert!(r.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn benes_cells_validate_fault_plans_against_their_real_geometry() {
+        // Benes(3) has 5 stages but only 4 cells per stage. The old
+        // `1 << (stages - 1)` formula would have accepted cell 15 here and
+        // panicked inside a worker; the spec-aware validation rejects it as
+        // a typed error up front.
+        let bad = FaultPlan::none().with_dead_switch(0, 15, 0);
+        let err = CampaignConfig::over_catalog(3..=3)
+            .with_cells(vec![NetworkSpec::benes(3)])
+            .with_fault_plans(vec![bad])
+            .scenarios()
+            .unwrap_err();
+        match err {
+            CampaignError::InvalidFaultPlan {
+                plan: 0, stages: 5, ..
+            } => {}
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        // In-range Benes fault sites are accepted, including stages beyond
+        // the catalog's depth at the same cell count.
+        let deep = FaultPlan::none().with_dead_link(3, 2, 1, 0);
+        CampaignConfig::over_catalog(3..=3)
+            .with_cells(vec![NetworkSpec::benes(3)])
+            .with_fault_plans(vec![deep])
+            .scenarios()
+            .unwrap();
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl Simulator {
     /// or silent misbehaviour mid-run.
     pub fn new(net: ConnectionNetwork, config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
-        let fabric = Fabric::new(net)?;
+        let fabric = Fabric::for_traffic(net, &config.traffic)?;
         let core = build_core(config.buffer_mode, fabric.stages(), fabric.cells());
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let faults = if config.fault_plan.is_empty() {
@@ -178,7 +178,7 @@ impl Simulator {
         let width_bits = self.fabric.network().width();
         let cells = self.fabric.cells();
         for cell in 0..cells {
-            for _terminal in 0..2 {
+            for terminal in 0..2 {
                 if !self.rng.gen_bool(self.config.offered_load) {
                     continue;
                 }
@@ -194,8 +194,10 @@ impl Simulator {
                     &mut self.rng,
                 );
                 // Under faults the tag comes from the pair's surviving path
-                // (destination-tag reroute); a severed pair refuses the
-                // packet at the source instead of losing it inside.
+                // (destination-tag reroute); otherwise the fabric's router
+                // picks it per (source, terminal). Either way an unreachable
+                // destination refuses the packet at the source instead of
+                // losing it inside.
                 let tag = match self.faults.as_ref() {
                     Some(rt) => match rt.pair_tag(cell, destination as usize) {
                         Some(tag) => tag,
@@ -204,7 +206,13 @@ impl Simulator {
                             continue;
                         }
                     },
-                    None => self.fabric.tag_for(destination),
+                    None => match self.fabric.route(cell as u32, terminal, destination) {
+                        Some(tag) => tag,
+                        None => {
+                            self.metrics.unroutable_drops += 1;
+                            continue;
+                        }
+                    },
                 };
                 let packet = Packet {
                     id: self.next_packet_id,

@@ -1,23 +1,33 @@
-//! Equivalence-classification campaign over the classical catalog.
+//! Equivalence-classification campaign over the classical catalog and the
+//! rearrangeable constructions.
 //!
 //! Expands a declarative grid — every classical network family at
 //! n = 2..=16, plus random-network samples (PIPID, independent-Banyan,
-//! link-permutation, buddy) at smaller sizes — into a canonical subject
-//! list, classifies every network into Baseline-equivalence classes across
-//! worker threads, prints the per-class summary, and writes the
-//! machine-readable report to `classification.json`. The same `--seed`
+//! link-permutation, buddy) at smaller sizes, plus the rearrangeable axis
+//! (Benes, its 2024 shuffle-based variant, and fundamental-arrangement
+//! rewrites of catalog members) — into a canonical subject list, classifies
+//! every network into Baseline-equivalence classes across worker threads,
+//! prints the per-class summary plus the rearrangeable verdicts, and writes
+//! the machine-readable report to `classification.json`. The same `--seed`
 //! yields a byte-identical report at any `--threads` value; the CI
 //! `classify-smoke` job runs exactly this binary twice and `cmp`s the
 //! outputs.
+//!
+//! The expected rearrangeable verdicts are themselves gated: a full Benes
+//! classified Baseline-equivalent (or an entry/exit half classified
+//! non-equivalent) exits nonzero, because either way the characterization
+//! machinery would be mislabelling a network whose status is a theorem.
 //!
 //! ```text
 //! cargo run --release --example classify_sweep \
 //!     [-- --threads <T>] [--seed <S>] [--min-stages <A>] [--max-stages <B>] \
 //!     [--random-samples <K>] [--random-min-stages <A>] [--random-max-stages <B>] \
-//!     [--out <path>]
+//!     [--benes-max-n <N>] [--rewrite-stages <n>] [--out <path>]
 //! ```
 
-use baseline_equivalence::prelude::{classify_subjects, ClassificationGrid, RandomFamily};
+use baseline_equivalence::prelude::{
+    classify_subjects, ClassicalNetwork, ClassificationGrid, NetworkSpec, RandomFamily, Rewrite,
+};
 
 fn main() {
     let mut threads = 0usize; // 0 = one worker per core
@@ -27,6 +37,8 @@ fn main() {
     let mut random_samples = 2u32;
     let mut random_min_stages = 3usize;
     let mut random_max_stages = 6usize;
+    let mut benes_max_n = 4usize; // 0 disables the rearrangeable axis
+    let mut rewrite_stages = 4usize; // 0 disables the rewrite axis
     let mut out_path = String::from("classification.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +61,10 @@ fn main() {
             "--random-max-stages" => {
                 random_max_stages = parse("--random-max-stages", value).parse().expect("stages")
             }
+            "--benes-max-n" => benes_max_n = parse("--benes-max-n", value).parse().expect("n"),
+            "--rewrite-stages" => {
+                rewrite_stages = parse("--rewrite-stages", value).parse().expect("stages")
+            }
             "--out" => out_path = parse("--out", value),
             other => panic!("unknown argument `{other}`"),
         }
@@ -56,6 +72,25 @@ fn main() {
     }
 
     let mut grid = ClassificationGrid::over_catalog(min_stages..=max_stages).with_seed(seed);
+    // The rearrangeable axis: Benes and its shuffle-based variant at
+    // n = 2..=benes_max_n, plus the fundamental-arrangement rewrites of
+    // every catalog family at one stage count. These ride the same subject
+    // list as the catalog, so the report shows exactly which equivalence
+    // classes they land in.
+    let catalog_cells = grid.catalog.len();
+    for n in 2..=benes_max_n.min(16) {
+        grid.catalog.push(NetworkSpec::benes(n));
+        grid.catalog.push(NetworkSpec::benes_variant(n));
+    }
+    if (2..=16).contains(&rewrite_stages) {
+        for family in ClassicalNetwork::ALL {
+            for rewrite in Rewrite::ALL {
+                grid.catalog
+                    .push(NetworkSpec::rewritten(family, rewrite_stages, rewrite));
+            }
+        }
+    }
+    let rearrangeable_cells = grid.catalog.len() - catalog_cells;
     if random_samples > 0 {
         grid = grid.with_random(
             RandomFamily::ALL.to_vec(),
@@ -65,8 +100,7 @@ fn main() {
     }
 
     println!(
-        "== Classification: {} catalog cells (n={min_stages}..={max_stages}) + {} random subjects = {} subjects (seed {seed:#x}) ==\n",
-        grid.catalog.len(),
+        "== Classification: {catalog_cells} catalog cells (n={min_stages}..={max_stages}) + {rearrangeable_cells} rearrangeable/rewritten cells + {} random subjects = {} subjects (seed {seed:#x}) ==\n",
         grid.subject_count() - grid.catalog.len(),
         grid.subject_count(),
     );
@@ -99,6 +133,53 @@ fn main() {
         .any(|c| c.equivalent && !c.cross_verified)
     {
         eprintln!("cross-verification failed for an equivalence class");
+        std::process::exit(1);
+    }
+
+    // Rearrangeable verdicts: the full Benes (and its variant) must NOT be
+    // Baseline-equivalent — they are rearrangeable, not banyan — while
+    // their two banyan halves are exactly the Baseline and Reverse Baseline
+    // networks, whose rows in the same report must be equivalent. Both
+    // verdicts are theorems, so a flip either way is a machinery bug.
+    let mut failed = false;
+    if benes_max_n >= 2 {
+        println!("\n== Rearrangeable verdicts ==");
+        for r in &report.subjects {
+            let rearrangeable = r.family == "Benes" || r.family == "Benes-variant";
+            let rewritten = r.family.contains('+');
+            if !rearrangeable && !rewritten {
+                continue;
+            }
+            println!(
+                "{:<24} n={:<2} -> {}",
+                r.family,
+                r.stages,
+                if r.equivalent {
+                    "Baseline-equivalent"
+                } else {
+                    "NOT Baseline-equivalent"
+                }
+            );
+            if rearrangeable && r.equivalent {
+                eprintln!("{} classified Baseline-equivalent — impossible", r.name());
+                failed = true;
+            }
+        }
+        // The halves of Benes(n) are the n-stage Baseline / Reverse
+        // Baseline, present as catalog rows of the same report.
+        for r in &report.subjects {
+            if (r.family == "Baseline" || r.family == "Reverse Baseline")
+                && r.stages >= min_stages.max(2)
+                && r.stages <= benes_max_n
+                && !r.equivalent
+            {
+                eprintln!("Benes half {} not Baseline-equivalent", r.name());
+                failed = true;
+            }
+        }
+        println!("(each Benes(n) splits into the n-stage Baseline + Reverse Baseline banyan halves above, which classify as equivalent)");
+    }
+    if failed {
         std::process::exit(1);
     }
 

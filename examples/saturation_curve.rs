@@ -50,11 +50,12 @@ fn curve_json(report: &CampaignReport, cycles: u64, replications: u32) -> String
         // expansion (the replication axis is innermost), so grouping is a
         // running fold over the result list.
         let matches = points.last().is_some_and(|p| {
-            (p.network.as_str(), p.stages, p.load) == (s.network.name(), s.stages, s.offered_load)
+            (p.network.as_str(), p.stages, p.load)
+                == (s.network.name().as_str(), s.stages, s.offered_load)
         });
         if !matches {
             points.push(CurvePoint {
-                network: s.network.name().to_string(),
+                network: s.network.name(),
                 stages: s.stages,
                 load: s.offered_load,
                 ..CurvePoint::default()

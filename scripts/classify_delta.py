@@ -46,14 +46,46 @@ def load_partition(path: pathlib.Path) -> dict:
     return {}
 
 
+def verdict_breakdown(path: pathlib.Path) -> None:
+    """Per-family verdict summary of the current report — with Benes, its
+    variant, and rewritten catalog members in the grid the raw partition
+    mixes equivalent and non-equivalent classes, so a family-level rollup
+    makes the enlarged partition readable at a glance."""
+    try:
+        report = json.loads(path.read_text())
+        subjects = report["subjects"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return
+    families: dict = {}
+    for s in subjects:
+        eq, total = families.get(s["family"], (0, 0))
+        families[s["family"]] = (eq + (1 if s["equivalent"] else 0), total + 1)
+    print("### Verdicts by family\n")
+    print("| family | equivalent | subjects | verdict |")
+    print("|---|---:|---:|---|")
+    for family in sorted(families):
+        eq, total = families[family]
+        if eq == total:
+            verdict = "all Baseline-equivalent"
+        elif eq == 0:
+            verdict = "none Baseline-equivalent"
+        else:
+            verdict = "mixed"
+        print(f"| `{family}` | {eq} | {total} | {verdict} |")
+    print()
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
         return 0
+    current_path = pathlib.Path(sys.argv[2])
     previous = load_partition(pathlib.Path(sys.argv[1]))
-    current = load_partition(pathlib.Path(sys.argv[2]))
+    current = load_partition(current_path)
 
     print("## Equivalence-class partition vs. previous run\n")
+    if current:
+        verdict_breakdown(current_path)
     if not current:
         print("_No classification report was produced by this run._")
         return 0

@@ -62,8 +62,12 @@ pub mod prelude {
     };
     pub use min_graph::MiDigraph;
     pub use min_labels::{BitMatrix, IndexPermutation};
-    pub use min_networks::{catalog_grid, ClassicalNetwork, ClassificationGrid, RandomFamily};
+    pub use min_networks::{
+        benes, benes_variant, catalog_grid, ClassicalNetwork, ClassificationGrid, NetworkSpec,
+        RandomFamily, Rewrite,
+    };
     pub use min_routing::disjoint::{disjoint_paths, route_around, FaultDigest, FaultRoute};
+    pub use min_routing::{loop_setup, LoopingSetting, Router};
     pub use min_sim::{
         run_campaign, simulate, BufferMode, CampaignConfig, CampaignReport, FaultKind, FaultPlan,
         SimConfig, Simulator, SwitchCore, TrafficPattern,

@@ -48,7 +48,7 @@ fn tiny_grid_over_the_classical_catalog_completes() {
         assert!(r.p99_latency <= r.max_latency);
     }
     // All six families appear.
-    let families: std::collections::HashSet<&str> = report
+    let families: std::collections::HashSet<String> = report
         .scenarios
         .iter()
         .map(|r| r.scenario.network.name())
