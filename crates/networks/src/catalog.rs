@@ -189,8 +189,9 @@ mod tests {
     fn grid_respects_the_given_family_subset() {
         let cells = grid(&[ClassicalNetwork::Omega, ClassicalNetwork::Flip], 4..=4);
         assert_eq!(cells.len(), 2);
-        assert_eq!(cells[0], (ClassicalNetwork::Omega, 4));
-        assert_eq!(cells[1], (ClassicalNetwork::Flip, 4));
+        use crate::spec::NetworkSpec;
+        assert_eq!(cells[0], NetworkSpec::catalog(ClassicalNetwork::Omega, 4));
+        assert_eq!(cells[1], NetworkSpec::catalog(ClassicalNetwork::Flip, 4));
         assert!(grid(&[], 3..=5).is_empty());
         assert!(catalog_grid(5..=3).is_empty());
     }

@@ -10,7 +10,7 @@
 //! and with it the classification report — depends only on the grid, never
 //! on thread scheduling.
 
-use crate::catalog::catalog_grid;
+use crate::catalog::{catalog_grid, ClassicalNetwork};
 use crate::random::{
     random_buddy_network, random_independent_banyan, random_link_permutation_network,
     random_pipid_network,
@@ -117,11 +117,19 @@ impl ClassificationGrid {
         self
     }
 
-    /// Builder-style setter for the deterministic cells. Accepts both
-    /// [`NetworkSpec`]s and legacy `(ClassicalNetwork, usize)` tuples.
-    pub fn with_catalog<S: Into<NetworkSpec>>(mut self, catalog: Vec<S>) -> Self {
-        self.catalog = catalog.into_iter().map(Into::into).collect();
+    /// Builder-style setter for the deterministic cells.
+    pub fn with_catalog(mut self, catalog: Vec<NetworkSpec>) -> Self {
+        self.catalog = catalog;
         self
+    }
+
+    /// Legacy tuple-typed variant of [`Self::with_catalog`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build `NetworkSpec` cells (`NetworkSpec::catalog`) and call `with_catalog`"
+    )]
+    pub fn with_catalog_tuples(self, catalog: Vec<(ClassicalNetwork, usize)>) -> Self {
+        self.with_catalog(catalog.into_iter().map(Into::into).collect())
     }
 
     /// Builder-style setter for the random axis: `samples` networks per
@@ -253,7 +261,7 @@ mod tests {
         // Theorem 3 on the random axis: every Banyan sample with
         // independent stages must land in the Baseline-equivalent class.
         let grid = ClassificationGrid::over_catalog(3..=3)
-            .with_catalog(vec![(ClassicalNetwork::Baseline, 3)])
+            .with_catalog(vec![NetworkSpec::catalog(ClassicalNetwork::Baseline, 3)])
             .with_random(
                 vec![RandomFamily::IndependentBanyan, RandomFamily::Pipid],
                 3..=4,

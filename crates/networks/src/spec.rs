@@ -21,13 +21,18 @@
 //!
 //! ## Migration from the tuple API
 //!
-//! * `config.with_cells(vec![(ClassicalNetwork::Omega, 3)])` still compiles
-//!   via `From<(ClassicalNetwork, usize)>`; the idiomatic spelling is now
-//!   `config.with_cells(vec![NetworkSpec::catalog(ClassicalNetwork::Omega, 3)])`.
+//! The `(ClassicalNetwork, usize)` shims are **deprecated**. Grid builders
+//! now take `Vec<NetworkSpec>` directly; the tuple spellings survive only
+//! behind `#[deprecated]` escape hatches so old code fails loudly instead
+//! of silently:
+//!
+//! * `config.with_cells(vec![(ClassicalNetwork::Omega, 3)])` becomes
+//!   `config.with_cells(vec![NetworkSpec::catalog(ClassicalNetwork::Omega, 3)])`;
+//!   the tuple form lives on as the deprecated `with_cell_tuples` /
+//!   `with_catalog_tuples` builders (and [`NetworkSpec::from_tuple`]).
 //! * `catalog_grid(3..=5)` now returns `Vec<NetworkSpec>`; code that matched
-//!   on the tuple can compare against one directly
-//!   (`spec == (ClassicalNetwork::Omega, 3)`) or match on
-//!   [`NetworkSpec::Catalog`].
+//!   on the tuple can compare against [`NetworkSpec::catalog`] values or
+//!   match on [`NetworkSpec::Catalog`].
 //! * Code that did `kind.build(stages)` calls [`NetworkSpec::build`]; the
 //!   stage count lives in the spec ([`NetworkSpec::stages`]), and — new with
 //!   the rearrangeable members — the cell count is **not** always
@@ -139,6 +144,18 @@ impl NetworkSpec {
         matches!(self, NetworkSpec::Catalog { .. })
     }
 
+    /// Converts a pre-redesign `(family, stages)` tuple into a spec.
+    ///
+    /// Kept only so legacy call sites have an explicit, greppable landing
+    /// spot; new code should call [`NetworkSpec::catalog`] directly.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `NetworkSpec::catalog(family, stages)` instead of the tuple shorthand"
+    )]
+    pub fn from_tuple((family, stages): (ClassicalNetwork, usize)) -> Self {
+        NetworkSpec::Catalog { family, stages }
+    }
+
     /// Builds the described network.
     pub fn build(&self) -> ConnectionNetwork {
         match *self {
@@ -154,14 +171,21 @@ impl NetworkSpec {
     }
 }
 
+/// **Deprecated shim** — lets pre-redesign `(family, stages)` tuples flow
+/// into spec-typed APIs. `#[deprecated]` cannot be attached to a trait impl,
+/// so this delegates to the deprecated [`NetworkSpec::from_tuple`] as the
+/// lintable entry point; new code should build specs with
+/// [`NetworkSpec::catalog`].
 impl From<(ClassicalNetwork, usize)> for NetworkSpec {
-    fn from((family, stages): (ClassicalNetwork, usize)) -> Self {
-        NetworkSpec::Catalog { family, stages }
+    fn from(tuple: (ClassicalNetwork, usize)) -> Self {
+        #[allow(deprecated)]
+        NetworkSpec::from_tuple(tuple)
     }
 }
 
-/// Lets pre-redesign assertions like `cells[0] == (ClassicalNetwork::Baseline, 3)`
-/// keep compiling against the migrated grids.
+/// **Deprecated shim** — lets pre-redesign assertions like
+/// `cells[0] == (ClassicalNetwork::Baseline, 3)` keep compiling against the
+/// migrated grids. Compare against [`NetworkSpec::catalog`] values instead.
 impl PartialEq<(ClassicalNetwork, usize)> for NetworkSpec {
     fn eq(&self, &(family, stages): &(ClassicalNetwork, usize)) -> bool {
         *self == NetworkSpec::Catalog { family, stages }

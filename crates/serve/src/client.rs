@@ -1,0 +1,88 @@
+//! One-shot client helpers: the `submit` / `status` / `results` verbs.
+//!
+//! Each helper opens a fresh connection, performs exactly one
+//! request/reply exchange (see [`crate::protocol`]) and closes it — the
+//! same discipline the workers follow.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use min_sim::campaign::CampaignConfig;
+
+use crate::protocol::{read_frame, write_frame, Reply, Request, StatusReport};
+
+/// Performs one request/reply exchange with the master at `addr`.
+pub fn request(addr: impl ToSocketAddrs, req: &Request) -> io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    write_frame(&mut stream, req)?;
+    read_frame(&mut stream)
+}
+
+fn unexpected(reply: Reply) -> io::Error {
+    let message = match reply {
+        Reply::Error { message } => message,
+        other => format!("unexpected master reply: {other:?}"),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Submits a campaign; returns `(shards, scenarios)` of the queued plan.
+pub fn submit(
+    addr: impl ToSocketAddrs,
+    config: &CampaignConfig,
+    points_per_shard: usize,
+) -> io::Result<(usize, usize)> {
+    match request(
+        addr,
+        &Request::Submit {
+            config: config.clone(),
+            points_per_shard,
+        },
+    )? {
+        Reply::Submitted { shards, scenarios } => Ok((shards, scenarios)),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Fetches the master's progress snapshot.
+pub fn status(addr: impl ToSocketAddrs) -> io::Result<StatusReport> {
+    match request(addr, &Request::Status)? {
+        Reply::Status { status } => Ok(status),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Fetches the completed report's canonical JSON, or `None` while shards
+/// are still outstanding.
+pub fn results(addr: impl ToSocketAddrs) -> io::Result<Option<String>> {
+    match request(addr, &Request::Results)? {
+        Reply::Results { report_json } => Ok(Some(report_json)),
+        Reply::NotReady => Ok(None),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Polls [`status`] every `poll` until the job completes, then returns the
+/// report JSON via [`results`].
+pub fn wait_for_results(addr: impl ToSocketAddrs + Clone, poll: Duration) -> io::Result<String> {
+    loop {
+        if status(addr.clone())?.complete {
+            if let Some(report_json) = results(addr.clone())? {
+                return Ok(report_json);
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Asks the master to exit.
+pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    match request(addr, &Request::Shutdown)? {
+        Reply::Ack => Ok(()),
+        other => Err(unexpected(other)),
+    }
+}

@@ -1,0 +1,356 @@
+//! The campaign master: job state, shard leasing and heartbeat failover.
+//!
+//! The master owns one job at a time: a planned campaign whose shards move
+//! through `Pending → Running → Done`. Workers lease pending shards,
+//! execute them with `min_sim::campaign::execute_shard`, and push results
+//! back; a monitor requeues the shards of any worker that misses its
+//! heartbeat deadline. Because shards are index-addressed and scenario
+//! seeds are derived per index, a requeued shard re-executes to
+//! byte-identical results on any other worker — pushes are therefore
+//! idempotent: the first one fills the slot, later duplicates are
+//! acknowledged and discarded.
+//!
+//! Connections are served sequentially (one request/reply per connection,
+//! see [`crate::protocol`]) off a non-blocking accept loop, with the
+//! failover monitor running between accepts. Campaign execution happens in
+//! the workers, so the master's work per exchange is a lease table update
+//! or a report merge — never a simulation.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use min_sim::campaign::{CampaignConfig, CampaignReport, Shard};
+
+use crate::protocol::{read_frame, write_frame, Reply, Request, StatusReport};
+
+/// Tuning knobs of a [`Master`].
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// A worker that has not been heard from (lease, push, or heartbeat)
+    /// for this long is declared dead and its running shards are requeued.
+    pub heartbeat_timeout: Duration,
+    /// When `true`, the master exits once a job has completed **and** its
+    /// results have been served to a client — the mode integration tests
+    /// and the CI smoke job run in. When `false` the master stays up for
+    /// further submissions until a `Shutdown` request.
+    pub once: bool,
+    /// Idle sleep between accept attempts; also bounds how stale the
+    /// failover monitor can be.
+    pub tick: Duration,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            heartbeat_timeout: Duration::from_secs(10),
+            once: false,
+            tick: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Lifecycle of one shard slot.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Not yet leased (or requeued after its worker died).
+    Pending,
+    /// Leased to the named worker.
+    Running {
+        worker: String,
+    },
+    Done,
+}
+
+/// The active job: a planned campaign plus its slot table and the
+/// accumulating results store.
+struct Job {
+    config: CampaignConfig,
+    shards: Vec<Shard>,
+    slots: Vec<Slot>,
+    store: CampaignReport,
+    done: usize,
+    requeues: u64,
+}
+
+impl Job {
+    fn complete(&self) -> bool {
+        self.done == self.slots.len()
+    }
+}
+
+/// The distributed campaign master. Bind with [`Master::bind`], then hand
+/// the thread to [`Master::run`].
+pub struct Master {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: MasterConfig,
+    job: Option<Job>,
+    /// Worker name → last time it was heard from.
+    workers: HashMap<String, Instant>,
+    served_results: bool,
+    shutdown: bool,
+}
+
+impl Master {
+    /// Binds the master to `addr` (use port `0` for an ephemeral port; the
+    /// chosen address is available via [`Master::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: MasterConfig) -> io::Result<Master> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Master {
+            listener,
+            local_addr,
+            config,
+            job: None,
+            workers: HashMap::new(),
+            served_results: false,
+            shutdown: false,
+        })
+    }
+
+    /// The address the master is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves requests until shut down — or, in [`MasterConfig::once`]
+    /// mode, until a completed job's results have been served.
+    pub fn run(mut self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Ignore per-connection failures (a worker dying mid
+                    // exchange must not take the master down); failover
+                    // handles the fallout.
+                    let _ = self.serve_connection(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.config.tick);
+                }
+                Err(e) => return Err(e),
+            }
+            self.monitor();
+            if self.should_exit() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn should_exit(&self) -> bool {
+        if self.shutdown {
+            return true;
+        }
+        self.config.once && self.served_results && self.job.as_ref().is_some_and(Job::complete)
+    }
+
+    fn serve_connection(&mut self, mut stream: TcpStream) -> io::Result<()> {
+        // The listener is non-blocking; the accepted stream must not be
+        // (inheritance is platform-specific). Timeouts keep a wedged peer
+        // from stalling the accept loop forever.
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let request: Request = read_frame(&mut stream)?;
+        let reply = self.handle(request);
+        write_frame(&mut stream, &reply)
+    }
+
+    fn touch(&mut self, worker: &str) {
+        self.workers.insert(worker.to_string(), Instant::now());
+    }
+
+    fn handle(&mut self, request: Request) -> Reply {
+        match request {
+            Request::Register { worker } | Request::Heartbeat { worker } => {
+                self.touch(&worker);
+                Reply::Ack
+            }
+            Request::Lease { worker } => {
+                self.touch(&worker);
+                self.lease(&worker)
+            }
+            Request::Push {
+                shard,
+                results,
+                worker,
+            } => {
+                self.touch(&worker);
+                self.push(shard, results)
+            }
+            Request::Submit {
+                config,
+                points_per_shard,
+            } => self.submit(config, points_per_shard),
+            Request::Status => Reply::Status {
+                status: self.status(),
+            },
+            Request::Results => match &self.job {
+                Some(job) if job.complete() => {
+                    self.served_results = true;
+                    Reply::Results {
+                        report_json: self.job.as_ref().expect("checked").store.to_json(),
+                    }
+                }
+                Some(_) => Reply::NotReady,
+                None => Reply::Error {
+                    message: "no job submitted".to_string(),
+                },
+            },
+            Request::Shutdown => {
+                self.shutdown = true;
+                Reply::Ack
+            }
+        }
+    }
+
+    fn lease(&mut self, worker: &str) -> Reply {
+        let once = self.config.once;
+        let Some(job) = self.job.as_mut() else {
+            return Reply::Wait;
+        };
+        if job.complete() {
+            // In once mode the job is the master's whole life: drain the
+            // worker pool. A persistent master keeps workers polling for
+            // the next submission instead.
+            return if once { Reply::Exit } else { Reply::Wait };
+        }
+        match job.slots.iter().position(|s| matches!(s, Slot::Pending)) {
+            Some(id) => {
+                job.slots[id] = Slot::Running {
+                    worker: worker.to_string(),
+                };
+                Reply::Assignment {
+                    config: job.config.clone(),
+                    shard: job.shards[id].clone(),
+                }
+            }
+            // Everything is leased out but not yet done; the poller may
+            // still inherit a requeued shard.
+            None => Reply::Wait,
+        }
+    }
+
+    fn push(&mut self, shard: usize, results: Vec<min_sim::campaign::ScenarioResult>) -> Reply {
+        let Some(job) = self.job.as_mut() else {
+            return Reply::Error {
+                message: "no job submitted".to_string(),
+            };
+        };
+        if shard >= job.slots.len() {
+            return Reply::Error {
+                message: format!("shard {shard} out of range ({} shards)", job.slots.len()),
+            };
+        }
+        if matches!(job.slots[shard], Slot::Done) {
+            // A worker declared dead can still come back with the results
+            // of a shard that was requeued and re-executed elsewhere.
+            // Execution is deterministic, so the bytes are the same either
+            // way: first push wins, duplicates are discarded.
+            return Reply::Ack;
+        }
+        let partial = match CampaignReport::partial(&job.config, results) {
+            Ok(partial) => partial,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("rejected results for shard {shard}: {e}"),
+                }
+            }
+        };
+        if let Err(e) = job.store.merge(&partial) {
+            return Reply::Error {
+                message: format!("rejected results for shard {shard}: {e}"),
+            };
+        }
+        job.slots[shard] = Slot::Done;
+        job.done += 1;
+        Reply::Ack
+    }
+
+    fn submit(&mut self, config: CampaignConfig, points_per_shard: usize) -> Reply {
+        if self.job.as_ref().is_some_and(|job| !job.complete()) {
+            return Reply::Error {
+                message: "a job is already in progress".to_string(),
+            };
+        }
+        let plan = match config.plan_chunked(points_per_shard) {
+            Ok(plan) => plan,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("invalid campaign: {e}"),
+                }
+            }
+        };
+        let shards = plan.shards;
+        let scenarios = shards.iter().map(Shard::len).sum();
+        let store = CampaignReport::empty(&config);
+        self.served_results = false;
+        self.job = Some(Job {
+            config,
+            slots: vec![Slot::Pending; shards.len()],
+            shards,
+            store,
+            done: 0,
+            requeues: 0,
+        });
+        Reply::Submitted {
+            shards: self.job.as_ref().expect("just set").shards.len(),
+            scenarios,
+        }
+    }
+
+    fn status(&self) -> StatusReport {
+        let mut status = StatusReport {
+            has_job: self.job.is_some(),
+            shards: 0,
+            pending: 0,
+            running: 0,
+            done: 0,
+            complete: false,
+            workers: self.workers.len(),
+            requeues: 0,
+        };
+        if let Some(job) = &self.job {
+            status.shards = job.slots.len();
+            for slot in &job.slots {
+                match slot {
+                    Slot::Pending => status.pending += 1,
+                    Slot::Running { .. } => status.running += 1,
+                    Slot::Done => status.done += 1,
+                }
+            }
+            status.complete = job.complete();
+            status.requeues = job.requeues;
+        }
+        status
+    }
+
+    /// The failover monitor: drops workers that have missed their
+    /// heartbeat deadline and requeues every shard they were running.
+    fn monitor(&mut self) {
+        let timeout = self.config.heartbeat_timeout;
+        let now = Instant::now();
+        let dead: Vec<String> = self
+            .workers
+            .iter()
+            .filter(|(_, last_seen)| now.duration_since(**last_seen) > timeout)
+            .map(|(name, _)| name.clone())
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        for name in &dead {
+            self.workers.remove(name);
+        }
+        if let Some(job) = self.job.as_mut() {
+            for slot in job.slots.iter_mut() {
+                if matches!(slot, Slot::Running { worker } if dead.contains(worker)) {
+                    *slot = Slot::Pending;
+                    job.requeues += 1;
+                }
+            }
+        }
+    }
+}

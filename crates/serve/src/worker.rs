@@ -1,0 +1,228 @@
+//! The campaign worker: lease, execute, push, heartbeat.
+//!
+//! A worker is a stateless loop over one-shot connections to the master
+//! (see [`crate::protocol`]): register, then lease a shard, execute it with
+//! the pure `min_sim::campaign::execute_shard`, push the slotted results,
+//! and repeat until the master says [`Reply::Exit`] or goes away. While a
+//! shard is executing, a side thread sends heartbeats so the master's
+//! failover monitor can tell "slow" from "dead".
+//!
+//! For failover testing, [`WorkerConfig::die_after_leases`] makes the
+//! worker abandon the loop right after its *n*-th lease — holding a shard
+//! it will never execute, exactly like a crashed machine — so integration
+//! tests and the CI smoke job can exercise the requeue path
+//! deterministically.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use min_sim::campaign::execute_shard;
+
+use crate::client::request;
+use crate::protocol::{Reply, Request};
+
+/// Tuning knobs of a worker loop.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Master address, e.g. `127.0.0.1:7077`.
+    pub master: String,
+    /// The worker's name: its identity for leases and failover.
+    pub name: String,
+    /// Interval between heartbeats while executing a shard. Keep well
+    /// under the master's heartbeat timeout.
+    pub heartbeat: Duration,
+    /// Sleep between lease attempts while the master has no work.
+    pub poll: Duration,
+    /// Consecutive failed connections to the master before the worker
+    /// gives up. Covers both "master not up yet" at startup and "master
+    /// exited after serving results" at the end.
+    pub max_connect_failures: u32,
+    /// Abandon the loop immediately after the *n*-th successful lease,
+    /// without executing, pushing, or heartbeating — a deterministic
+    /// stand-in for a worker crash, used by the failover tests.
+    pub die_after_leases: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// A worker with default timing (1s heartbeat, 50ms poll) for the
+    /// given master address and name.
+    pub fn new(master: impl Into<String>, name: impl Into<String>) -> Self {
+        WorkerConfig {
+            master: master.into(),
+            name: name.into(),
+            heartbeat: Duration::from_secs(1),
+            poll: Duration::from_millis(50),
+            max_connect_failures: 100,
+            die_after_leases: None,
+        }
+    }
+}
+
+/// What a finished worker loop did, for logging and test assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSummary {
+    /// Shards leased from the master.
+    pub leased: usize,
+    /// Shards executed and pushed back.
+    pub executed: usize,
+    /// Whether the loop ended via [`WorkerConfig::die_after_leases`].
+    pub died: bool,
+}
+
+/// Runs the worker loop until the master drains it ([`Reply::Exit`]),
+/// disappears, or the configured simulated crash fires.
+pub fn run_worker(config: &WorkerConfig) -> io::Result<WorkerSummary> {
+    let mut summary = WorkerSummary::default();
+    let mut failures = 0u32;
+    retrying(config, &mut failures, |c| {
+        request(
+            &c.master,
+            &Request::Register {
+                worker: c.name.clone(),
+            },
+        )
+    })?;
+    loop {
+        let reply = match retrying(config, &mut failures, |c| {
+            request(
+                &c.master,
+                &Request::Lease {
+                    worker: c.name.clone(),
+                },
+            )
+        }) {
+            Ok(reply) => reply,
+            // The master is gone for good. If it ever gave us work, the
+            // job is simply over; propagate only a cold start failure.
+            Err(_) if summary.leased > 0 => return Ok(summary),
+            Err(e) => return Err(e),
+        };
+        match reply {
+            Reply::Assignment {
+                config: campaign,
+                shard,
+            } => {
+                summary.leased += 1;
+                if config.die_after_leases == Some(summary.leased) {
+                    summary.died = true;
+                    return Ok(summary);
+                }
+                let shard_id = shard.id;
+                let results = {
+                    let _beat = Heartbeat::start(config);
+                    execute_shard(&campaign, &shard).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("shard {shard_id} failed: {e}"),
+                        )
+                    })?
+                };
+                let pushed = retrying(config, &mut failures, move |c| {
+                    request(
+                        &c.master,
+                        &Request::Push {
+                            worker: c.name.clone(),
+                            shard: shard_id,
+                            results: results.clone(),
+                        },
+                    )
+                });
+                match pushed {
+                    Ok(Reply::Ack) => summary.executed += 1,
+                    Ok(other) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("push of shard {shard_id} rejected: {other:?}"),
+                        ))
+                    }
+                    // The master vanished mid-push: there is no one left to
+                    // deliver results to, so the loop is over.
+                    Err(_) => return Ok(summary),
+                }
+            }
+            Reply::Wait => std::thread::sleep(config.poll),
+            Reply::Exit => return Ok(summary),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected master reply: {other:?}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Retries a master exchange across transient connection failures, up to
+/// [`WorkerConfig::max_connect_failures`] consecutive ones.
+fn retrying<T>(
+    config: &WorkerConfig,
+    failures: &mut u32,
+    mut exchange: impl FnMut(&WorkerConfig) -> io::Result<T>,
+) -> io::Result<T> {
+    loop {
+        match exchange(config) {
+            Ok(value) => {
+                *failures = 0;
+                return Ok(value);
+            }
+            Err(e) => {
+                *failures += 1;
+                if *failures >= config.max_connect_failures {
+                    return Err(e);
+                }
+                std::thread::sleep(config.poll);
+            }
+        }
+    }
+}
+
+/// A heartbeat ticker: sends [`Request::Heartbeat`] every
+/// [`WorkerConfig::heartbeat`] until dropped.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(config: &WorkerConfig) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let master = config.master.clone();
+        let name = config.name.clone();
+        let interval = config.heartbeat;
+        let handle = std::thread::spawn(move || {
+            let step = Duration::from_millis(10).min(interval);
+            let mut since_beat = interval; // beat immediately on start
+            while !flag.load(Ordering::Relaxed) {
+                if since_beat >= interval {
+                    // A missed heartbeat is the master's problem to
+                    // notice, not ours to crash on.
+                    let _ = request(
+                        &master,
+                        &Request::Heartbeat {
+                            worker: name.clone(),
+                        },
+                    );
+                    since_beat = Duration::ZERO;
+                }
+                std::thread::sleep(step);
+                since_beat += step;
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

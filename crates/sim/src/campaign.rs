@@ -1,20 +1,31 @@
-//! Scenario campaigns: declarative simulation grids fanned out across threads.
+//! Scenario campaigns: declarative simulation grids planned into shards and
+//! executed by interchangeable local or distributed executors.
 //!
 //! A [`CampaignConfig`] describes a grid — catalog cells (network family ×
 //! stage count) × traffic pattern × offered load × buffer mode × fault
 //! plan × replication — plus the simulation parameters shared by every
-//! cell.
-//! [`run_campaign`] expands the grid into a flat, deterministically ordered
-//! work queue of [`Scenario`]s, fans the queue out across scoped worker
-//! threads, and collects one [`ScenarioResult`] per scenario into a
-//! [`CampaignReport`]. Replications are the innermost grid axis, so every
-//! grid point is a run of consecutive scenario indices that differ only in
-//! their derived seed; the fan-out hands whole grid points to
-//! [`crate::batch::run_replications`], which builds the fabric tables,
-//! switch arenas and fault machinery once per grid point and — for
-//! unbuffered scenarios with enough replications — runs up to 64
-//! replications per machine word through the bit-parallel
-//! [`crate::lane::LaneEngine`].
+//! cell. Campaign execution is split into three separable phases:
+//!
+//! 1. **[`CampaignConfig::plan`]** expands the grid into a
+//!    [`CampaignPlan`]: an ordered list of [`Shard`]s, each a contiguous
+//!    block of whole grid points (runs of consecutive scenario indices that
+//!    differ only in their derived seed).
+//! 2. **[`execute_shard`]** is pure — shard in, slotted [`ScenarioResult`]s
+//!    out. It hands each grid point to [`crate::batch::run_replications`],
+//!    which builds the fabric tables, switch arenas and fault machinery
+//!    once per grid point and — for unbuffered scenarios with enough
+//!    replications — runs up to 64 replications per machine word through
+//!    the bit-parallel [`crate::lane::LaneEngine`]. Because every scenario
+//!    carries its own derived seed, a shard produces the same bytes no
+//!    matter which process, machine or retry executes it.
+//! 3. **[`assemble`]** slots results back by canonical scenario index into
+//!    a [`CampaignReport`], rejecting duplicate or missing slots with a
+//!    typed [`MergeError`].
+//!
+//! [`run_campaign`] is the thin compatibility wrapper chaining the three
+//! phases across scoped worker threads on one box; the `min-serve`
+//! master/worker service is a second executor of the very same plan, with
+//! the byte-identity of the two reports as its integration oracle.
 //!
 //! The buffer-mode axis is what lets one campaign sweep a topology across
 //! *buffer architectures*, not just families: the same grid cell can run
@@ -132,11 +143,19 @@ impl CampaignConfig {
         self
     }
 
-    /// Builder-style setter for the grid cells. Accepts both
-    /// [`NetworkSpec`]s and legacy `(ClassicalNetwork, usize)` tuples.
-    pub fn with_cells<S: Into<NetworkSpec>>(mut self, cells: Vec<S>) -> Self {
-        self.cells = cells.into_iter().map(Into::into).collect();
+    /// Builder-style setter for the grid cells.
+    pub fn with_cells(mut self, cells: Vec<NetworkSpec>) -> Self {
+        self.cells = cells;
         self
+    }
+
+    /// Legacy tuple setter kept from the pre-[`NetworkSpec`] API.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build `NetworkSpec` cells (`NetworkSpec::catalog`, `catalog_grid`) and call `with_cells`"
+    )]
+    pub fn with_cell_tuples(self, cells: Vec<(ClassicalNetwork, usize)>) -> Self {
+        self.with_cells(cells.into_iter().map(Into::into).collect())
     }
 
     /// Builder-style setter for the traffic axis.
@@ -294,6 +313,91 @@ impl CampaignConfig {
             }
         }
         Ok(out)
+    }
+
+    /// **Phase 1 of 3** — expands the grid into a [`CampaignPlan`] with one
+    /// [`Shard`] per grid point, the finest shardable granularity (every
+    /// shard still hands whole replication blocks to the batch layer).
+    pub fn plan(&self) -> Result<CampaignPlan, CampaignError> {
+        self.plan_chunked(1)
+    }
+
+    /// Like [`CampaignConfig::plan`], but packs `points_per_shard`
+    /// consecutive grid points into each shard — fewer, larger work units
+    /// for executors whose per-shard overhead (e.g. a network round trip)
+    /// dwarfs a single grid point.
+    pub fn plan_chunked(&self, points_per_shard: usize) -> Result<CampaignPlan, CampaignError> {
+        if points_per_shard == 0 {
+            return Err(CampaignError::ZeroShardSize);
+        }
+        let scenarios = self.scenarios()?;
+        let reps = self.replications as usize;
+        let shards = scenarios
+            .chunks(reps * points_per_shard)
+            .enumerate()
+            .map(|(id, chunk)| Shard {
+                id,
+                scenarios: chunk.to_vec(),
+            })
+            .collect();
+        Ok(CampaignPlan {
+            config: self.clone(),
+            shards,
+        })
+    }
+}
+
+/// A contiguous block of whole grid points: the unit of work an executor —
+/// a scoped thread or a remote worker — claims, runs through
+/// [`execute_shard`], and reports back. Shards are index-addressed, so
+/// re-executing one (after a worker death, say) is idempotent: the retry
+/// reproduces byte-identical results for the same slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Position of this shard in the plan's canonical order.
+    pub id: usize,
+    /// The scenarios of the shard, in ascending canonical index order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Shard {
+    /// Number of scenarios in the shard.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the shard holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Canonical index of the shard's first scenario.
+    pub fn first_index(&self) -> Option<usize> {
+        self.scenarios.first().map(|s| s.index)
+    }
+}
+
+/// The expanded form of a campaign: the configuration echo plus the ordered
+/// shard list every executor works through. Serializable, so a plan (or any
+/// single shard of it) can cross a process or network boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    /// The campaign the plan was expanded from.
+    pub config: CampaignConfig,
+    /// The shards, in canonical order; concatenating their scenario lists
+    /// reproduces [`CampaignConfig::scenarios`] exactly.
+    pub shards: Vec<Shard>,
+}
+
+impl CampaignPlan {
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of scenarios across every shard.
+    pub fn scenario_count(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
     }
 }
 
@@ -506,6 +610,131 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// An empty partial report for `config`: no slots filled yet. The unit
+    /// of [`CampaignReport::merge`] — a results store starts here and folds
+    /// in per-shard partial reports as they arrive.
+    pub fn empty(config: &CampaignConfig) -> Self {
+        CampaignReport {
+            campaign_seed: config.campaign_seed,
+            buffer_modes: config.buffer_modes.clone(),
+            fault_plans: config.fault_plans.clone(),
+            cycles: config.cycles,
+            warmup: config.warmup,
+            scenario_count: 0,
+            scenarios: Vec::new(),
+            aggregate: aggregate(&[]),
+        }
+    }
+
+    /// A partial report holding the given results, slotted by canonical
+    /// scenario index. The results may arrive in any order and cover any
+    /// subset of the grid; duplicate and out-of-range slots are rejected
+    /// with a typed [`MergeError`].
+    pub fn partial(
+        config: &CampaignConfig,
+        mut results: Vec<ScenarioResult>,
+    ) -> Result<Self, MergeError> {
+        let total = config.scenario_count();
+        results.sort_by_key(|r| r.scenario.index);
+        for pair in results.windows(2) {
+            if pair[0].scenario.index == pair[1].scenario.index {
+                return Err(MergeError::DuplicateSlot {
+                    slot: pair[0].scenario.index,
+                });
+            }
+        }
+        if let Some(last) = results.last() {
+            if last.scenario.index >= total {
+                return Err(MergeError::SlotOutOfRange {
+                    slot: last.scenario.index,
+                    slots: total,
+                });
+            }
+        }
+        let mut report = CampaignReport::empty(config);
+        report.scenario_count = results.len();
+        report.aggregate = aggregate(&results);
+        report.scenarios = results;
+        Ok(report)
+    }
+
+    /// Folds another (possibly partial) report into `self`, slot by slot:
+    /// the two reports' scenario sets must be disjoint by canonical index,
+    /// and their campaign headers (seed, axes, cycle counts) must agree.
+    /// This is the report-level promotion of [`Metrics::merge`] — where that
+    /// adds counters *within* one slot, this unions *slots* — and it is what
+    /// a distributed results store uses to accumulate shards from any worker
+    /// topology: merging is order-independent, and once every slot is
+    /// filled the report is byte-identical to the single-process run.
+    pub fn merge(&mut self, other: &CampaignReport) -> Result<(), MergeError> {
+        fn header(field: &'static str) -> MergeError {
+            MergeError::HeaderMismatch { field }
+        }
+        if self.campaign_seed != other.campaign_seed {
+            return Err(header("campaign_seed"));
+        }
+        if self.buffer_modes != other.buffer_modes {
+            return Err(header("buffer_modes"));
+        }
+        if self.fault_plans != other.fault_plans {
+            return Err(header("fault_plans"));
+        }
+        if self.cycles != other.cycles {
+            return Err(header("cycles"));
+        }
+        if self.warmup != other.warmup {
+            return Err(header("warmup"));
+        }
+        // Disjointness is checked before anything is moved, so a rejected
+        // merge leaves the store untouched and retryable.
+        {
+            let mut left = self.scenarios.iter().map(|r| r.scenario.index).peekable();
+            let mut right = other.scenarios.iter().map(|r| r.scenario.index).peekable();
+            while let (Some(&a), Some(&b)) = (left.peek(), right.peek()) {
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Equal => return Err(MergeError::DuplicateSlot { slot: a }),
+                    std::cmp::Ordering::Less => {
+                        left.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        right.next();
+                    }
+                }
+            }
+        }
+        let mut merged = Vec::with_capacity(self.scenarios.len() + other.scenarios.len());
+        let mut left = std::mem::take(&mut self.scenarios).into_iter().peekable();
+        let mut right = other.scenarios.iter().peekable();
+        loop {
+            match (left.peek(), right.peek()) {
+                (Some(a), Some(b)) => {
+                    if a.scenario.index < b.scenario.index {
+                        merged.push(left.next().expect("peeked"));
+                    } else {
+                        merged.push(right.next().expect("peeked").clone());
+                    }
+                }
+                (Some(_), None) => merged.push(left.next().expect("peeked")),
+                (None, Some(_)) => merged.push(right.next().expect("peeked").clone()),
+                (None, None) => break,
+            }
+        }
+        self.scenario_count = merged.len();
+        self.aggregate = aggregate(&merged);
+        self.scenarios = merged;
+        Ok(())
+    }
+
+    /// Whether this report fills every slot of `config`'s grid.
+    pub fn is_complete_for(&self, config: &CampaignConfig) -> bool {
+        self.scenario_count == config.scenario_count()
+            && self
+                .scenarios
+                .iter()
+                .enumerate()
+                .all(|(slot, r)| r.scenario.index == slot)
+    }
+
     /// Serializes the report to JSON. The rendering is deterministic (field
     /// order is declaration order, floats print via Rust's shortest
     /// round-trip formatting), so equal reports yield byte-identical JSON.
@@ -584,6 +813,10 @@ pub enum CampaignError {
     InvalidBuffer(ConfigError),
     /// The measured run has zero cycles.
     ZeroCycles,
+    /// A chunked plan was requested with zero grid points per shard.
+    ZeroShardSize,
+    /// Executed results could not be assembled into a report.
+    Assemble(MergeError),
     /// The warm-up consumes the whole cycle budget, leaving no measurement
     /// window.
     WarmupTooLong {
@@ -633,6 +866,12 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "invalid buffer mode on the grid axis: {error}")
             }
             CampaignError::ZeroCycles => write!(f, "campaign runs zero measured cycles"),
+            CampaignError::ZeroShardSize => {
+                write!(f, "a plan needs at least one grid point per shard")
+            }
+            CampaignError::Assemble(error) => {
+                write!(f, "executed results do not assemble into a report: {error}")
+            }
             CampaignError::WarmupTooLong { warmup, cycles } => write!(
                 f,
                 "warm-up of {warmup} cycles consumes the whole {cycles}-cycle budget"
@@ -661,6 +900,65 @@ impl std::fmt::Display for CampaignError {
 }
 
 impl std::error::Error for CampaignError {}
+
+impl From<MergeError> for CampaignError {
+    fn from(error: MergeError) -> Self {
+        CampaignError::Assemble(error)
+    }
+}
+
+/// Why results could not be slotted into (or merged between) reports.
+///
+/// Slots are canonical scenario indices, so these errors are the typed form
+/// of every way a distributed results store can be handed inconsistent
+/// data: the same slot twice, a slot outside the grid, a hole where a shard
+/// never reported, or partial reports from two different campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// Two results claim the same canonical scenario index.
+    DuplicateSlot {
+        /// The contested scenario index.
+        slot: usize,
+    },
+    /// A result's scenario index lies outside the campaign grid.
+    SlotOutOfRange {
+        /// The offending scenario index.
+        slot: usize,
+        /// Number of slots in the grid.
+        slots: usize,
+    },
+    /// Assembly found no result for a slot.
+    MissingSlot {
+        /// The first unfilled scenario index.
+        slot: usize,
+    },
+    /// Two reports describe different campaigns and cannot be merged.
+    HeaderMismatch {
+        /// The first header field that disagrees.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::DuplicateSlot { slot } => {
+                write!(f, "two results claim scenario slot {slot}")
+            }
+            MergeError::SlotOutOfRange { slot, slots } => {
+                write!(f, "scenario slot {slot} is outside the {slots}-slot grid")
+            }
+            MergeError::MissingSlot { slot } => {
+                write!(f, "no result for scenario slot {slot}")
+            }
+            MergeError::HeaderMismatch { field } => {
+                write!(f, "reports disagree on campaign header field `{field}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Per-cell disjoint-path diversity histograms, computed once per grid cell
 /// before the fan-out (the histogram depends only on the topology, not on
@@ -745,14 +1043,20 @@ fn scenario_result(
 fn run_grid_point(
     campaign: &CampaignConfig,
     group: &[Scenario],
-    diversity: &DiversityMap,
+    shared: Option<&DiversityMap>,
+    cache: &mut DiversityMap,
 ) -> Result<Vec<ScenarioResult>, CampaignError> {
     let first = &group[0];
     let net = first.network.build();
-    let path_diversity = if first.fault_plan.is_empty() {
+    let path_diversity = if first.fault_plan.is_empty() || first.network.stages() > 8 {
         Vec::new()
+    } else if let Some(map) = shared {
+        map.get(&first.network).cloned().unwrap_or_default()
     } else {
-        diversity.get(&first.network).cloned().unwrap_or_default()
+        cache
+            .entry(first.network)
+            .or_insert_with(|| min_routing::disjoint::path_diversity_histogram(&net))
+            .clone()
     };
     let config = first.sim_config(campaign);
     let seeds: Vec<u64> = group.iter().map(|s| s.seed).collect();
@@ -765,26 +1069,106 @@ fn run_grid_point(
         .collect())
 }
 
-/// Expands the campaign grid and runs every scenario across `threads` scoped
-/// worker threads (`0` = one worker per available core). Workers pull
-/// **grid points** — blocks of `replications` consecutive scenarios that
-/// differ only in their derived seed — from a shared atomic cursor and run
-/// each block through [`crate::batch::run_replications`], so the fabric
-/// tables, switch arenas and fault machinery are built once per grid point
-/// (and eligible unbuffered blocks go through the bit-parallel
-/// [`crate::lane::LaneEngine`]). Results land in index order regardless of
-/// which worker ran them, keeping the report independent of the thread
-/// count.
+/// **Phase 2 of 3** — executes one [`Shard`], returning its slotted
+/// [`ScenarioResult`]s in the shard's scenario order.
+///
+/// Pure in the sense that matters for distribution: the output depends only
+/// on `(config, shard)` — every scenario carries its own derived seed, so
+/// the same shard produces byte-identical results on any thread, process,
+/// machine or retry. Consecutive scenarios that differ only in their
+/// replication seed are batched through [`crate::batch::run_replications`]
+/// (and, when eligible, the bit-parallel [`crate::lane::LaneEngine`]), so
+/// hand-built shards need no particular alignment to stay fast.
+pub fn execute_shard(
+    config: &CampaignConfig,
+    shard: &Shard,
+) -> Result<Vec<ScenarioResult>, CampaignError> {
+    execute_shard_with(config, shard, None)
+}
+
+/// [`execute_shard`] with an optional precomputed disjoint-path diversity
+/// map: the in-process runner computes each grid cell's histogram once per
+/// campaign and shares it across every shard, instead of once per shard.
+/// The histogram is a pure function of the topology, so both paths produce
+/// identical bytes.
+fn execute_shard_with(
+    config: &CampaignConfig,
+    shard: &Shard,
+    shared: Option<&DiversityMap>,
+) -> Result<Vec<ScenarioResult>, CampaignError> {
+    let mut cache = DiversityMap::new();
+    let mut out = Vec::with_capacity(shard.scenarios.len());
+    let mut start = 0;
+    while start < shard.scenarios.len() {
+        // A grid point is a maximal run of scenarios identical up to the
+        // replication number and derived seed.
+        let first = &shard.scenarios[start];
+        let end = start
+            + shard.scenarios[start..]
+                .iter()
+                .take_while(|s| {
+                    s.network == first.network
+                        && s.traffic == first.traffic
+                        && s.offered_load == first.offered_load
+                        && s.buffer_mode == first.buffer_mode
+                        && s.fault_plan == first.fault_plan
+                })
+                .count();
+        let group = &shard.scenarios[start..end];
+        out.extend(run_grid_point(config, group, shared, &mut cache)?);
+        start = end;
+    }
+    Ok(out)
+}
+
+/// **Phase 3 of 3** — slots executed results by canonical scenario index
+/// into the complete [`CampaignReport`].
+///
+/// Accepts the results in **any** order (they may arrive interleaved from
+/// many executors); rejects duplicate slots, out-of-range slots and missing
+/// slots with a typed [`MergeError`]. The assembled report — including its
+/// JSON — is byte-identical to the single-threaded in-process run, which is
+/// the integration oracle every executor topology is held to.
+pub fn assemble(
+    config: &CampaignConfig,
+    results: Vec<ScenarioResult>,
+) -> Result<CampaignReport, MergeError> {
+    let report = CampaignReport::partial(config, results)?;
+    let expected = config.scenario_count();
+    if report.scenario_count != expected {
+        // `partial` sorted and deduplicated the slots, so the first index
+        // that does not match its position is the first hole.
+        let missing = report
+            .scenarios
+            .iter()
+            .enumerate()
+            .find(|(slot, r)| r.scenario.index != *slot)
+            .map_or(report.scenario_count, |(slot, _)| slot);
+        return Err(MergeError::MissingSlot { slot: missing });
+    }
+    Ok(report)
+}
+
+/// The in-process executor: the thin compatibility wrapper chaining
+/// [`CampaignConfig::plan`] → [`execute_shard`] → [`assemble`] across
+/// `threads` scoped worker threads (`0` = one worker per available core).
+///
+/// Workers pull whole shards — grid points of `replications` consecutive
+/// scenarios that differ only in their derived seed — from a shared atomic
+/// cursor; the batch layer builds the fabric tables, switch arenas and
+/// fault machinery once per grid point (and eligible unbuffered blocks go
+/// through the bit-parallel [`crate::lane::LaneEngine`]). Results are
+/// slotted by canonical index regardless of which worker ran them, keeping
+/// the report independent of the thread count — and byte-identical to any
+/// other executor of the same plan, including the `min-serve`
+/// master/worker service.
 pub fn run_campaign(
     config: &CampaignConfig,
     threads: usize,
 ) -> Result<CampaignReport, CampaignError> {
-    let scenarios = config.scenarios()?;
-    // Replications are the innermost grid axis, so grid point `g` owns the
-    // consecutive slice `scenarios[g * reps..(g + 1) * reps]`.
-    let reps = config.replications as usize;
-    let groups = scenarios.len() / reps;
-    let workers = effective_threads(threads, groups);
+    let plan = config.plan()?;
+    let shards = &plan.shards;
+    let workers = effective_threads(threads, shards.len());
     let diversity = diversity_map(config);
 
     let cursor = AtomicUsize::new(0);
@@ -793,17 +1177,17 @@ pub fn run_campaign(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
-                    let scenarios = &scenarios;
+                    let shards = &shards;
                     let diversity = &diversity;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let g = cursor.fetch_add(1, Ordering::Relaxed);
-                            if g >= groups {
+                            if g >= shards.len() {
                                 break;
                             }
-                            let group = &scenarios[g * reps..(g + 1) * reps];
-                            local.push((g, run_grid_point(config, group, diversity)));
+                            let result = execute_shard_with(config, &shards[g], Some(diversity));
+                            local.push((g, result));
                         }
                         local
                     })
@@ -815,26 +1199,15 @@ pub fn run_campaign(
                 .collect()
         });
 
-    let mut slots: Vec<Option<Vec<ScenarioResult>>> = vec![None; groups];
-    for (g, result) in collected {
-        slots[g] = Some(result?);
+    // Surface errors in shard order so a failing campaign reports the same
+    // (lowest-index) scenario at any thread count.
+    let mut collected = collected;
+    collected.sort_by_key(|(g, _)| *g);
+    let mut results = Vec::with_capacity(plan.scenario_count());
+    for (_, shard_results) in collected {
+        results.extend(shard_results?);
     }
-    let results: Vec<ScenarioResult> = slots
-        .into_iter()
-        .flat_map(|slot| slot.expect("every grid point was claimed exactly once"))
-        .collect();
-
-    let aggregate = aggregate(&results);
-    Ok(CampaignReport {
-        campaign_seed: config.campaign_seed,
-        buffer_modes: config.buffer_modes.clone(),
-        fault_plans: config.fault_plans.clone(),
-        cycles: config.cycles,
-        warmup: config.warmup,
-        scenario_count: results.len(),
-        scenarios: results,
-        aggregate,
-    })
+    Ok(assemble(config, results)?)
 }
 
 /// Resolves the worker count: `0` means one per available core, and there is
@@ -1068,14 +1441,14 @@ mod tests {
         // panicking inside a worker thread.
         assert_eq!(
             tiny()
-                .with_cells(vec![(ClassicalNetwork::Omega, 1)])
+                .with_cells(vec![NetworkSpec::catalog(ClassicalNetwork::Omega, 1)])
                 .scenarios()
                 .unwrap_err(),
             CampaignError::InvalidStages(1)
         );
         assert_eq!(
             tiny()
-                .with_cells(vec![(ClassicalNetwork::Omega, 64)])
+                .with_cells(vec![NetworkSpec::catalog(ClassicalNetwork::Omega, 64)])
                 .scenarios()
                 .unwrap_err(),
             CampaignError::InvalidStages(64)
@@ -1168,14 +1541,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn legacy_tuple_grids_keep_their_pre_spec_json_layout() {
         // Old-style `(ClassicalNetwork, usize)` grids flow through the
-        // `From` shim, and both the config and the report must render
-        // byte-for-byte as they did before the `NetworkSpec` redesign:
-        // tuple cells as two-element arrays, scenario networks as the bare
-        // family name next to a `stages` field.
+        // (now deprecated) tuple shims, and both the config and the report
+        // must render byte-for-byte as they did before the `NetworkSpec`
+        // redesign: tuple cells as two-element arrays, scenario networks as
+        // the bare family name next to a `stages` field.
         let cfg = CampaignConfig::over_catalog(3..=3)
-            .with_cells(vec![
+            .with_cell_tuples(vec![
                 (ClassicalNetwork::Omega, 3),
                 (ClassicalNetwork::ReverseBaseline, 4),
             ])
@@ -1258,5 +1632,166 @@ mod tests {
         assert_ne!(scenario_seed(0, 0), scenario_seed(0, 1));
         assert_ne!(scenario_seed(0, 0), scenario_seed(1, 0));
         assert_ne!(scenario_seed(7, 3), scenario_seed(3, 7));
+    }
+
+    // ------------------------------------------------------------------
+    // plan / execute_shard / assemble
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn plan_covers_every_scenario_exactly_once_in_order() {
+        let cfg = tiny().with_replications(3);
+        let plan = cfg.plan().unwrap();
+        assert_eq!(plan.shard_count(), cfg.scenario_count() / 3);
+        assert_eq!(plan.scenario_count(), cfg.scenario_count());
+        let mut next = 0usize;
+        for (id, shard) in plan.shards.iter().enumerate() {
+            assert_eq!(shard.id, id);
+            // One grid point per shard: all three replications, nothing else.
+            assert_eq!(shard.len(), 3);
+            assert_eq!(shard.first_index(), Some(next));
+            for s in &shard.scenarios {
+                assert_eq!(s.index, next);
+                next += 1;
+            }
+            let first = &shard.scenarios[0];
+            for s in &shard.scenarios[1..] {
+                assert_eq!(s.network, first.network);
+                assert_eq!(s.offered_load, first.offered_load);
+                assert_eq!(s.buffer_mode, first.buffer_mode);
+            }
+        }
+        assert_eq!(next, cfg.scenario_count());
+    }
+
+    #[test]
+    fn plan_chunked_groups_points_and_rejects_zero() {
+        let cfg = tiny().with_replications(2);
+        let points = cfg.scenario_count() / 2;
+        let plan = cfg.plan_chunked(4).unwrap();
+        assert_eq!(plan.shard_count(), points.div_ceil(4));
+        assert_eq!(plan.scenario_count(), cfg.scenario_count());
+        assert_eq!(plan.shards[0].len(), 4 * 2);
+        assert_eq!(
+            cfg.plan_chunked(0).unwrap_err(),
+            CampaignError::ZeroShardSize
+        );
+        // A chunk larger than the grid degenerates to one shard.
+        let one = cfg.plan_chunked(points + 100).unwrap();
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    #[test]
+    fn execute_and_assemble_match_run_campaign_byte_for_byte() {
+        let cfg = tiny().with_replications(2).with_fault_plans(vec![
+            FaultPlan::none(),
+            FaultPlan::none().with_dead_link(1, 0, 1, 0),
+        ]);
+        let reference = run_campaign(&cfg, 4).unwrap();
+        let plan = cfg.plan_chunked(3).unwrap();
+        // Execute shards out of order, as remote workers would.
+        let mut results = Vec::new();
+        for shard in plan.shards.iter().rev() {
+            results.extend(execute_shard(&cfg, shard).unwrap());
+        }
+        let assembled = assemble(&cfg, results).unwrap();
+        assert_eq!(assembled.to_json(), reference.to_json());
+    }
+
+    #[test]
+    fn assemble_rejects_gaps_duplicates_and_strays() {
+        let cfg = tiny();
+        let plan = cfg.plan().unwrap();
+        let full: Vec<ScenarioResult> = plan
+            .shards
+            .iter()
+            .flat_map(|s| execute_shard(&cfg, s).unwrap())
+            .collect();
+
+        let mut missing = full.clone();
+        missing.remove(2);
+        assert_eq!(
+            assemble(&cfg, missing).unwrap_err(),
+            MergeError::MissingSlot { slot: 2 }
+        );
+
+        let mut duplicated = full.clone();
+        duplicated.push(full[5].clone());
+        assert_eq!(
+            assemble(&cfg, duplicated).unwrap_err(),
+            MergeError::DuplicateSlot { slot: 5 }
+        );
+
+        let mut stray = full.clone();
+        let mut extra = full.last().unwrap().clone();
+        extra.scenario.index = cfg.scenario_count() + 3;
+        stray.push(extra);
+        assert_eq!(
+            assemble(&cfg, stray).unwrap_err(),
+            MergeError::SlotOutOfRange {
+                slot: cfg.scenario_count() + 3,
+                slots: cfg.scenario_count(),
+            }
+        );
+    }
+
+    #[test]
+    fn partial_reports_merge_into_the_complete_report() {
+        let cfg = tiny().with_replications(2);
+        let reference = run_campaign(&cfg, 1).unwrap();
+        let plan = cfg.plan_chunked(2).unwrap();
+        let mut merged = CampaignReport::empty(&cfg);
+        assert!(!merged.is_complete_for(&cfg));
+        // Merge shard-sized partial reports in reverse order.
+        for shard in plan.shards.iter().rev() {
+            let part = CampaignReport::partial(&cfg, execute_shard(&cfg, shard).unwrap()).unwrap();
+            merged.merge(&part).unwrap();
+        }
+        assert!(merged.is_complete_for(&cfg));
+        assert_eq!(merged.to_json(), reference.to_json());
+    }
+
+    #[test]
+    fn merge_rejects_overlaps_without_corrupting_the_target() {
+        let cfg = tiny();
+        let plan = cfg.plan_chunked(2).unwrap();
+        let a =
+            CampaignReport::partial(&cfg, execute_shard(&cfg, &plan.shards[0]).unwrap()).unwrap();
+        let mut target = a.clone();
+        let overlap_slot = plan.shards[0].first_index().unwrap();
+        assert_eq!(
+            target.merge(&a).unwrap_err(),
+            MergeError::DuplicateSlot { slot: overlap_slot }
+        );
+        // The failed merge must leave the target untouched and retryable.
+        assert_eq!(target, a);
+        let b =
+            CampaignReport::partial(&cfg, execute_shard(&cfg, &plan.shards[1]).unwrap()).unwrap();
+        target.merge(&b).unwrap();
+        assert_eq!(
+            target.scenario_count,
+            plan.shards[0].len() + plan.shards[1].len()
+        );
+    }
+
+    #[test]
+    fn merge_rejects_header_mismatches() {
+        let cfg = tiny();
+        let other_cfg = tiny().with_seed(cfg.campaign_seed ^ 0xdead_beef);
+        let plan = cfg.plan_chunked(2).unwrap();
+        let other_plan = other_cfg.plan_chunked(2).unwrap();
+        let mut a =
+            CampaignReport::partial(&cfg, execute_shard(&cfg, &plan.shards[0]).unwrap()).unwrap();
+        let b = CampaignReport::partial(
+            &other_cfg,
+            execute_shard(&other_cfg, &other_plan.shards[1]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            a.merge(&b).unwrap_err(),
+            MergeError::HeaderMismatch {
+                field: "campaign_seed"
+            }
+        );
     }
 }

@@ -32,10 +32,13 @@
 //!   (via `min-routing`) and reliability metrics (fault drops, unroutable
 //!   refusals, per-stage exposure);
 //! * campaigns ([`campaign`]) — declarative simulation grids (catalog cell ×
-//!   traffic × load × buffer mode × fault plan × replication) expanded into
-//!   a work queue and fanned out across scoped threads, with per-scenario
-//!   seeds derived from the campaign seed so reports are bitwise
-//!   reproducible at any thread count;
+//!   traffic × load × buffer mode × fault plan × replication) expanded by
+//!   [`campaign::CampaignConfig::plan`] into ordered [`campaign::Shard`]s,
+//!   executed purely by [`campaign::execute_shard`] and reassembled
+//!   slot-by-index by [`campaign::assemble`]; [`run_campaign`] wraps the
+//!   three phases over scoped threads, and the `min-serve` crate drives the
+//!   same plan over TCP workers — per-scenario seeds derived from the
+//!   campaign seed keep reports bitwise reproducible under any executor;
 //! * the bit-parallel fast path ([`lane`] and [`batch`]) — a word-packed
 //!   [`lane::LaneEngine`] simulating up to 64 independent unbuffered
 //!   replications per `u64` (occupancy, conflict and drop sets as bitwise
@@ -59,7 +62,10 @@ pub mod switch;
 pub mod traffic;
 
 pub use batch::{run_replications, run_replications_merged};
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Scenario, ScenarioResult};
+pub use campaign::{
+    assemble, execute_shard, run_campaign, CampaignConfig, CampaignPlan, CampaignReport,
+    MergeError, Scenario, ScenarioResult, Shard,
+};
 pub use config::{BufferMode, ConfigError, SimConfig};
 pub use engine::{simulate, SimError, Simulator};
 pub use fault::{Fault, FaultError, FaultKind, FaultPlan, FaultView, LinkStatus};

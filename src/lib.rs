@@ -22,8 +22,12 @@
 //!   rerouting;
 //! * [`sim`] (`min-sim`) — the cycle-synchronous switch-level simulator
 //!   (arena-backed unbuffered / FIFO / wormhole switching cores), the
-//!   fault-injection subsystem, and the multi-threaded scenario-campaign
-//!   runner.
+//!   fault-injection subsystem, and the plan/execute/assemble campaign
+//!   engine with its multi-threaded in-process runner;
+//! * [`serve`] (`min-serve`) — the distributed campaign service: a
+//!   master/worker executor for the same campaign plans over a
+//!   length-prefixed JSON TCP protocol, with heartbeat failover and a
+//!   `submit`/`status`/`results` CLI.
 //!
 //! ## Quick start
 //!
@@ -50,11 +54,12 @@ pub use min_graph as graph;
 pub use min_labels as labels;
 pub use min_networks as networks;
 pub use min_routing as routing;
+pub use min_serve as serve;
 pub use min_sim as sim;
 
 /// Convenient single import for applications and examples.
 pub mod prelude {
-    pub use crate::{core, graph, labels, networks, routing, sim};
+    pub use crate::{core, graph, labels, networks, routing, serve, sim};
     pub use min_core::{
         baseline_digraph, baseline_isomorphism, classify_subjects, equivalence_mapping,
         is_independent, satisfies_characterization, ClassificationReport, Connection,
@@ -68,9 +73,11 @@ pub mod prelude {
     };
     pub use min_routing::disjoint::{disjoint_paths, route_around, FaultDigest, FaultRoute};
     pub use min_routing::{loop_setup, LoopingSetting, Router};
+    pub use min_serve::{Master, MasterConfig, WorkerConfig};
     pub use min_sim::{
-        run_campaign, simulate, BufferMode, CampaignConfig, CampaignReport, FaultKind, FaultPlan,
-        SimConfig, Simulator, SwitchCore, TrafficPattern,
+        assemble, execute_shard, run_campaign, simulate, BufferMode, CampaignConfig, CampaignPlan,
+        CampaignReport, FaultKind, FaultPlan, Shard, SimConfig, Simulator, SwitchCore,
+        TrafficPattern,
     };
 }
 
