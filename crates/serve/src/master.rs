@@ -51,6 +51,17 @@ impl Default for MasterConfig {
     }
 }
 
+impl MasterConfig {
+    /// Per-connection socket read/write timeout, derived from the
+    /// heartbeat timeout: half of it, floored at 100 ms. Tying the two
+    /// together keeps a wedged peer from stalling the accept loop longer
+    /// than a failover round, and keeps short-heartbeat test configurations
+    /// from racing a (previously hard-coded 10 s) socket timeout.
+    pub fn io_timeout(&self) -> Duration {
+        (self.heartbeat_timeout / 2).max(Duration::from_millis(100))
+    }
+}
+
 /// Lifecycle of one shard slot.
 #[derive(Debug, Clone)]
 enum Slot {
@@ -151,8 +162,9 @@ impl Master {
         // (inheritance is platform-specific). Timeouts keep a wedged peer
         // from stalling the accept loop forever.
         stream.set_nonblocking(false)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let io_timeout = self.config.io_timeout();
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
         let request: Request = read_frame(&mut stream)?;
         let reply = self.handle(request);
         write_frame(&mut stream, &reply)
@@ -352,5 +364,29 @@ impl Master {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_timeout_tracks_the_heartbeat_timeout() {
+        let default = MasterConfig::default();
+        assert_eq!(default.io_timeout(), Duration::from_secs(5));
+        // Short failover configurations (the failover tests run a 400 ms
+        // heartbeat) get a proportionally short socket timeout...
+        let short = MasterConfig {
+            heartbeat_timeout: Duration::from_millis(400),
+            ..MasterConfig::default()
+        };
+        assert_eq!(short.io_timeout(), Duration::from_millis(200));
+        // ...down to a floor that still tolerates loopback latency.
+        let tiny = MasterConfig {
+            heartbeat_timeout: Duration::from_millis(50),
+            ..MasterConfig::default()
+        };
+        assert_eq!(tiny.io_timeout(), Duration::from_millis(100));
     }
 }

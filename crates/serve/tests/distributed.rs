@@ -8,12 +8,46 @@ use min_serve::{client, Master, MasterConfig, WorkerConfig};
 use min_sim::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use min_sim::FaultPlan;
 use min_sim::TrafficPattern;
+use min_sim::{TraceData, TraceRecord};
 
 /// A grid small enough for CI but wide enough to produce many shards and
-/// exercise the fault/path-diversity plumbing across the wire.
+/// exercise the fault/path-diversity plumbing — and every production-shaped
+/// traffic pattern (Zipf, ON/OFF, trace replay) — across the wire.
 fn grid() -> CampaignConfig {
+    // The n=3 catalog cells have 4 cells per stage = 8 terminals.
+    let trace = TraceData {
+        cells: 4,
+        period: 4,
+        records: vec![
+            TraceRecord {
+                cycle: 0,
+                source: 0,
+                dest: 3,
+            },
+            TraceRecord {
+                cycle: 0,
+                source: 5,
+                dest: 3,
+            },
+            TraceRecord {
+                cycle: 2,
+                source: 7,
+                dest: 0,
+            },
+        ],
+    };
     CampaignConfig::over_catalog(3..=3)
-        .with_traffic(vec![TrafficPattern::Uniform, TrafficPattern::BitReversal])
+        .with_traffic(vec![
+            TrafficPattern::Uniform,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Zipf { exponent: 1.1 },
+            TrafficPattern::OnOff {
+                on_dwell: 10.0,
+                off_dwell: 5.0,
+                on_rate: 0.9,
+            },
+            TrafficPattern::Trace(trace),
+        ])
         .with_loads(vec![0.35, 0.85])
         .with_fault_plans(vec![
             FaultPlan::none(),

@@ -36,9 +36,13 @@ pub const LANE_THRESHOLD: usize = 8;
 pub const LANE_MAX_STAGES: usize = 12;
 
 /// Whether [`run_replications`] would route this workload through the
-/// word-packed [`LaneEngine`].
+/// word-packed [`LaneEngine`]. Stateful traffic patterns (ON/OFF chains,
+/// trace replay — [`crate::TrafficPattern::is_stateful`]) carry per-source
+/// state the packed engine does not model, so they always take the scalar
+/// path.
 pub fn packed_eligible(config: &SimConfig, stages: usize, replications: usize) -> bool {
     config.buffer_mode == BufferMode::Unbuffered
+        && !config.traffic.is_stateful()
         && replications >= LANE_THRESHOLD
         && (2..=LANE_MAX_STAGES).contains(&stages)
 }
@@ -108,6 +112,23 @@ mod tests {
         assert!(!packed_eligible(&unbuffered, LANE_MAX_STAGES + 1, 64));
         let fifo = SimConfig::default().with_buffer(BufferMode::Fifo(4));
         assert!(!packed_eligible(&fifo, 4, 64));
+        // Zipf is stateless and packed-supported; ON/OFF and trace replay
+        // carry per-source state and must take the scalar path.
+        use crate::traffic::{TraceData, TrafficPattern};
+        let zipf = SimConfig::default().with_traffic(TrafficPattern::Zipf { exponent: 1.0 });
+        assert!(packed_eligible(&zipf, 4, 64));
+        let on_off = SimConfig::default().with_traffic(TrafficPattern::OnOff {
+            on_dwell: 8.0,
+            off_dwell: 8.0,
+            on_rate: 1.0,
+        });
+        assert!(!packed_eligible(&on_off, 4, 64));
+        let trace = SimConfig::default().with_traffic(TrafficPattern::Trace(TraceData {
+            cells: 8,
+            period: 1,
+            records: vec![],
+        }));
+        assert!(!packed_eligible(&trace, 4, 64));
     }
 
     #[test]
@@ -126,6 +147,33 @@ mod tests {
             assert_eq!(batched.len(), seeds.len());
             for (i, &seed) in seeds.iter().enumerate() {
                 assert_eq!(batched[i], fresh(&net, &config, seed), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_patterns_route_and_match_fresh_scalar_simulators() {
+        use crate::traffic::TrafficPattern;
+        let net = omega(4);
+        // 10 seeds: Zipf goes through the packed engine, ON/OFF through the
+        // scalar reseed loop — both must be bit-identical to fresh per-seed
+        // simulators.
+        let seeds: Vec<u64> = (0..10).map(|k| 0xFACE ^ (k * 6151)).collect();
+        for traffic in [
+            TrafficPattern::Zipf { exponent: 1.2 },
+            TrafficPattern::OnOff {
+                on_dwell: 12.0,
+                off_dwell: 5.0,
+                on_rate: 0.9,
+            },
+        ] {
+            let config = SimConfig::default()
+                .with_cycles(200, 20)
+                .with_load(0.8)
+                .with_traffic(traffic.clone());
+            let batched = run_replications(&net, &config, &seeds).unwrap();
+            for (i, &seed) in seeds.iter().enumerate() {
+                assert_eq!(batched[i], fresh(&net, &config, seed), "{traffic:?}");
             }
         }
     }

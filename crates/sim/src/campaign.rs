@@ -68,7 +68,7 @@ use crate::engine::SimError;
 use crate::fabric::FabricError;
 use crate::fault::{FaultError, FaultPlan};
 use crate::metrics::Metrics;
-use crate::traffic::TrafficPattern;
+use crate::traffic::{TrafficError, TrafficPattern};
 use min_networks::{catalog_grid, ClassicalNetwork, NetworkSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -229,6 +229,21 @@ impl CampaignConfig {
         }
         if self.traffic.is_empty() {
             return Err(CampaignError::EmptyAxis("traffic"));
+        }
+        for (pattern_index, pattern) in self.traffic.iter().enumerate() {
+            // Like fault plans, every pattern must fit every grid cell
+            // (hot-spot targets, permutation widths and trace geometries are
+            // all cell-count-dependent), so a mismatch is a typed error here
+            // instead of a panic inside a worker thread.
+            for spec in &self.cells {
+                pattern
+                    .validate_for(spec.cells_per_stage() as u32)
+                    .map_err(|error| CampaignError::InvalidTraffic {
+                        pattern: pattern_index,
+                        cells: spec.cells_per_stage(),
+                        error,
+                    })?;
+            }
         }
         if self.loads.is_empty() {
             return Err(CampaignError::EmptyAxis("loads"));
@@ -850,6 +865,16 @@ pub enum CampaignError {
         /// The underlying site error.
         error: FaultError,
     },
+    /// A traffic pattern on the grid axis is invalid or does not fit one of
+    /// the grid cells (hot-spot target, permutation width, trace geometry).
+    InvalidTraffic {
+        /// Index of the offending pattern on the `traffic` axis.
+        pattern: usize,
+        /// Cells per stage of the grid cell the pattern does not fit.
+        cells: usize,
+        /// The underlying traffic error.
+        error: TrafficError,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -893,6 +918,16 @@ impl std::fmt::Display for CampaignError {
                 write!(
                     f,
                     "fault plan {plan} does not fit the {stages}-stage grid cells: {error}"
+                )
+            }
+            CampaignError::InvalidTraffic {
+                pattern,
+                cells,
+                error,
+            } => {
+                write!(
+                    f,
+                    "traffic pattern {pattern} does not fit the {cells}-cell grid cells: {error}"
                 )
             }
         }
@@ -1388,6 +1423,37 @@ mod tests {
             tiny().with_fault_plans(vec![]).scenarios().unwrap_err(),
             CampaignError::EmptyAxis("fault_plans")
         );
+    }
+
+    #[test]
+    fn traffic_that_does_not_fit_a_grid_cell_is_rejected() {
+        use crate::traffic::TrafficError;
+        // The n=3 grid cells have 4 cells per stage; a 3-entry permutation
+        // and a NaN hot-spot fraction must both fail validation up front.
+        let cfg = tiny().with_traffic(vec![
+            TrafficPattern::Uniform,
+            TrafficPattern::Permutation(vec![0, 1, 2]),
+        ]);
+        assert_eq!(
+            cfg.scenarios().unwrap_err(),
+            CampaignError::InvalidTraffic {
+                pattern: 1,
+                cells: 4,
+                error: TrafficError::PermutationLength { len: 3, cells: 4 }
+            }
+        );
+        let cfg = tiny().with_traffic(vec![TrafficPattern::Hotspot {
+            fraction: f64::NAN,
+            target: 0,
+        }]);
+        assert!(matches!(
+            cfg.scenarios().unwrap_err(),
+            CampaignError::InvalidTraffic {
+                pattern: 0,
+                error: TrafficError::NonFinite { .. },
+                ..
+            }
+        ));
     }
 
     #[test]

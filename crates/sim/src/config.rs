@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use crate::fault::FaultPlan;
-use crate::traffic::TrafficPattern;
+use crate::traffic::{TrafficError, TrafficPattern};
 use serde::{Deserialize, Serialize};
 
 /// Buffering discipline of the 2×2 cells.
@@ -89,6 +89,10 @@ pub enum ConfigError {
     },
     /// A buffer-mode parameter that must be nonzero is zero.
     ZeroParameter(&'static str),
+    /// The traffic pattern is invalid (non-finite hot-spot fraction,
+    /// malformed permutation or trace, …) — rejected here instead of
+    /// asserting at draw time in the injection hot path.
+    Traffic(TrafficError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -102,7 +106,14 @@ impl std::fmt::Display for ConfigError {
                 "warm-up of {warmup} cycles consumes the whole {cycles}-cycle budget"
             ),
             ConfigError::ZeroParameter(what) => write!(f, "{what} must be nonzero"),
+            ConfigError::Traffic(e) => write!(f, "invalid traffic pattern: {e}"),
         }
+    }
+}
+
+impl From<TrafficError> for ConfigError {
+    fn from(e: TrafficError) -> Self {
+        ConfigError::Traffic(e)
     }
 }
 
@@ -148,9 +159,12 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Checks the configuration for typed errors instead of panicking or
     /// silently misbehaving mid-run: the offered load must be a probability,
-    /// the warm-up must leave a measurement window, and every buffer-mode
-    /// parameter must be nonzero. [`crate::Simulator::new`] calls this, so
-    /// invalid configurations are rejected at construction.
+    /// the warm-up must leave a measurement window, every buffer-mode
+    /// parameter must be nonzero, and the traffic pattern's parameters must
+    /// be in range ([`TrafficPattern::validate`] — fabric-dependent checks
+    /// like hot-spot targets run at simulator construction via
+    /// [`TrafficPattern::validate_for`]). [`crate::Simulator::new`] calls
+    /// this, so invalid configurations are rejected at construction.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.offered_load) {
             // NaN fails the range check too: PartialOrd orders it with nothing.
@@ -162,7 +176,9 @@ impl SimConfig {
                 cycles: self.cycles,
             });
         }
-        self.buffer_mode.validate()
+        self.buffer_mode.validate()?;
+        self.traffic.validate()?;
+        Ok(())
     }
 
     /// Builder-style setter for the offered load (validated by
@@ -286,6 +302,31 @@ mod tests {
                 flits_per_packet: 4
             }
             .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn invalid_traffic_parameters_are_rejected_with_a_typed_error() {
+        assert!(matches!(
+            SimConfig::default()
+                .with_traffic(TrafficPattern::Hotspot {
+                    fraction: f64::NAN,
+                    target: 0
+                })
+                .validate(),
+            Err(ConfigError::Traffic(TrafficError::NonFinite { .. }))
+        ));
+        assert!(matches!(
+            SimConfig::default()
+                .with_traffic(TrafficPattern::Zipf { exponent: -0.5 })
+                .validate(),
+            Err(ConfigError::Traffic(TrafficError::OutOfRange { .. }))
+        ));
+        assert_eq!(
+            SimConfig::default()
+                .with_traffic(TrafficPattern::Zipf { exponent: 1.0 })
+                .validate(),
             Ok(())
         );
     }

@@ -27,8 +27,8 @@ use crate::fault::{FaultError, FaultRuntime, FaultView};
 use crate::metrics::Metrics;
 use crate::packet::Packet;
 use crate::switch::{build_core, SwitchCore};
+use crate::traffic::{DestSampler, Offer, TrafficSources};
 use min_core::ConnectionNetwork;
-use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -83,6 +83,12 @@ pub struct Simulator {
     /// Fault machinery, present only for a non-empty [`SimConfig::fault_plan`]
     /// — `None` runs the exact fault-free code path.
     faults: Option<FaultRuntime>,
+    /// Injection state of the traffic pattern (ON/OFF chains, trace
+    /// schedules; stateless for the classic patterns).
+    sources: TrafficSources,
+    /// Destination sampler of the traffic pattern (precomputed CDF for
+    /// Zipf, a delegate for everything else).
+    sampler: DestSampler,
     cycle: u64,
     next_packet_id: u64,
     metrics: Metrics,
@@ -90,13 +96,23 @@ pub struct Simulator {
 
 impl Simulator {
     /// Builds a simulator for the given network and configuration. The
-    /// configuration is validated first, so an out-of-range load, an
-    /// all-warm-up cycle budget, a zero lane/depth parameter or a fault
-    /// site outside the fabric is a typed error here rather than a panic
-    /// or silent misbehaviour mid-run.
+    /// configuration is validated first — including the traffic pattern
+    /// against this fabric ([`crate::TrafficPattern::validate_for`]) — so
+    /// an out-of-range load, a NaN hot-spot fraction, a permutation or
+    /// trace that does not fit the fabric, an all-warm-up cycle budget, a
+    /// zero lane/depth parameter or a fault site outside the fabric is a
+    /// typed error here rather than a panic or silent misbehaviour mid-run.
     pub fn new(net: ConnectionNetwork, config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
         let fabric = Fabric::for_traffic(net, &config.traffic)?;
+        config
+            .traffic
+            .validate_for(fabric.cells() as u32)
+            .map_err(ConfigError::from)?;
+        let sampler = config
+            .traffic
+            .sampler(fabric.cells() as u32, fabric.network().width());
+        let sources = TrafficSources::new(&config.traffic, fabric.cells());
         let core = build_core(config.buffer_mode, fabric.stages(), fabric.cells());
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let faults = if config.fault_plan.is_empty() {
@@ -117,6 +133,8 @@ impl Simulator {
             rng,
             core,
             faults,
+            sources,
+            sampler,
             cycle: 0,
             next_packet_id: 0,
             metrics: Metrics::default(),
@@ -175,11 +193,20 @@ impl Simulator {
             .switch(&self.fabric, &faults, &mut self.rng, &mut self.metrics);
 
         // Phase 3: injection at the first stage (two terminals per cell).
-        let width_bits = self.fabric.network().width();
+        // Injection is open-loop: `offered` counts every offer the sources
+        // make, whether or not the core can accept it, so offered_rate vs
+        // normalized_throughput divergence locates the saturation point.
         let cells = self.fabric.cells();
         for cell in 0..cells {
             for terminal in 0..2 {
-                if !self.rng.gen_bool(self.config.offered_load) {
+                let offer = self.sources.offer(
+                    self.cycle,
+                    cell as u32,
+                    terminal,
+                    self.config.offered_load,
+                    &mut self.rng,
+                );
+                if offer == Offer::Idle {
                     continue;
                 }
                 self.metrics.offered += 1;
@@ -187,12 +214,10 @@ impl Simulator {
                     // No space at the source cell: the packet is refused.
                     continue;
                 }
-                let destination = self.config.traffic.destination(
-                    cell as u32,
-                    cells as u32,
-                    width_bits,
-                    &mut self.rng,
-                );
+                let destination = match offer {
+                    Offer::PacketTo(dest) => dest,
+                    _ => self.sampler.draw(cell as u32, &mut self.rng),
+                };
                 // Under faults the tag comes from the pair's surviving path
                 // (destination-tag reroute); otherwise the fabric's router
                 // picks it per (source, terminal). Either way an unreachable
@@ -256,6 +281,7 @@ impl Simulator {
         if let Some(rt) = self.faults.as_mut() {
             rt.rewind();
         }
+        self.sources.reset();
         self.cycle = 0;
         self.next_packet_id = 0;
         self.metrics = Metrics::default();
@@ -707,6 +733,218 @@ mod tests {
         assert!(tput > 0.05, "throughput {tput} suspiciously low");
         // The flit throughput sits well above the packet throughput.
         assert!(m.flit_throughput(16) > tput);
+    }
+
+    #[test]
+    fn zipf_traffic_congests_relative_to_uniform() {
+        // A skewed destination law concentrates load on the popular cells'
+        // output links; deliveries must fall below the uniform baseline.
+        let uniform = simulate(omega(5), quick_config().with_load(0.9)).unwrap();
+        let zipf = simulate(
+            omega(5),
+            quick_config()
+                .with_load(0.9)
+                .with_traffic(TrafficPattern::Zipf { exponent: 1.2 }),
+        )
+        .unwrap();
+        assert!(
+            zipf.delivered < uniform.delivered,
+            "zipf must congest the fabric: {} vs {}",
+            zipf.delivered,
+            uniform.delivered
+        );
+        assert!(zipf.misrouted == 0 && zipf.delivered > 0);
+    }
+
+    #[test]
+    fn on_off_duty_cycle_shapes_the_offered_rate() {
+        // Equal dwells give a 50% duty cycle: the long-run offered rate is
+        // half the configured load, while a Bernoulli source offers the
+        // full load.
+        let cfg = quick_config().with_load(0.8).with_cycles(4_000, 0);
+        let steady = simulate(omega(4), cfg.clone()).unwrap();
+        let bursty = simulate(
+            omega(4),
+            cfg.with_traffic(TrafficPattern::OnOff {
+                on_dwell: 20.0,
+                off_dwell: 20.0,
+                on_rate: 1.0,
+            }),
+        )
+        .unwrap();
+        let steady_rate = steady.offered_rate(16);
+        let bursty_rate = bursty.offered_rate(16);
+        assert!(
+            (steady_rate - 0.8).abs() < 0.05,
+            "bernoulli offered rate {steady_rate}"
+        );
+        assert!(
+            (bursty_rate - 0.4).abs() < 0.06,
+            "on/off offered rate {bursty_rate} (want ≈ 0.4)"
+        );
+        assert!(bursty.delivered > 0);
+    }
+
+    #[test]
+    fn trace_replay_injects_exactly_the_recorded_offers() {
+        use crate::traffic::{TraceData, TraceRecord};
+        // omega(4) has 8 first-stage cells = 16 terminals. Three records
+        // over a 5-cycle period, replayed for 400 cycles = 80 full periods.
+        let trace = TraceData {
+            cells: 8,
+            period: 5,
+            records: vec![
+                TraceRecord {
+                    cycle: 0,
+                    source: 0,
+                    dest: 7,
+                },
+                TraceRecord {
+                    cycle: 0,
+                    source: 9,
+                    dest: 1,
+                },
+                TraceRecord {
+                    cycle: 3,
+                    source: 15,
+                    dest: 0,
+                },
+            ],
+        };
+        let m = simulate(
+            omega(4),
+            quick_config()
+                .with_load(0.0)
+                .with_traffic(TrafficPattern::Trace(trace)),
+        )
+        .unwrap();
+        // The trace ignores the offered load (0.0 here): the schedule is
+        // the load. So sparse a schedule is always accepted and delivered.
+        assert_eq!(m.offered, 3 * 80);
+        assert_eq!(m.injected, 3 * 80);
+        assert_eq!(m.misrouted, 0);
+        assert_eq!(m.dropped(), 0);
+        assert!(m.delivered >= m.injected - m.in_flight_at_end);
+    }
+
+    #[test]
+    fn non_finite_hotspot_from_json_is_rejected_at_construction() {
+        use crate::config::ConfigError;
+        use crate::traffic::TrafficError;
+        // serde_json cannot *emit* a NaN, but hostile or corrupted input can
+        // still smuggle a non-finite fraction in (1e999 parses to +inf).
+        // Construction must return a typed error, not panic in gen_bool.
+        let traffic: TrafficPattern =
+            serde_json::from_str(r#"{"Hotspot":{"fraction":1e999,"target":0}}"#).unwrap();
+        let err = Simulator::new(omega(4), quick_config().with_traffic(traffic)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Config(ConfigError::Traffic(TrafficError::NonFinite { .. }))
+        ));
+        // And a NaN built in-process is caught by the same gate.
+        let err = Simulator::new(
+            omega(4),
+            quick_config().with_traffic(TrafficPattern::Hotspot {
+                fraction: f64::NAN,
+                target: 0,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Config(ConfigError::Traffic(TrafficError::NonFinite { .. }))
+        ));
+    }
+
+    #[test]
+    fn traffic_that_does_not_fit_the_fabric_is_rejected_at_construction() {
+        use crate::config::ConfigError;
+        use crate::traffic::{TraceData, TrafficError};
+        // omega(4) has 8 cells per stage.
+        let cases = [
+            (
+                TrafficPattern::Permutation(vec![0, 1, 2]),
+                TrafficError::PermutationLength { len: 3, cells: 8 },
+            ),
+            (
+                TrafficPattern::Permutation(vec![0, 1, 2, 3, 4, 5, 6, 8]),
+                TrafficError::PermutationEntry {
+                    index: 7,
+                    entry: 8,
+                    cells: 8,
+                },
+            ),
+            (
+                TrafficPattern::Hotspot {
+                    fraction: 0.5,
+                    target: 8,
+                },
+                TrafficError::HotspotTargetOutOfRange {
+                    target: 8,
+                    cells: 8,
+                },
+            ),
+            (
+                TrafficPattern::Trace(TraceData {
+                    cells: 4,
+                    period: 2,
+                    records: vec![],
+                }),
+                TrafficError::TraceCellsMismatch { trace: 4, cells: 8 },
+            ),
+        ];
+        for (traffic, expected) in cases {
+            let err =
+                Simulator::new(omega(4), quick_config().with_traffic(traffic.clone())).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::Config(ConfigError::Traffic(expected)),
+                "{traffic:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stateful_traffic_reseeds_bit_identically() {
+        use crate::traffic::{TraceData, TraceRecord};
+        let patterns = [
+            TrafficPattern::OnOff {
+                on_dwell: 10.0,
+                off_dwell: 6.0,
+                on_rate: 0.9,
+            },
+            TrafficPattern::Zipf { exponent: 1.0 },
+            TrafficPattern::Trace(TraceData {
+                cells: 8,
+                period: 3,
+                records: vec![
+                    TraceRecord {
+                        cycle: 0,
+                        source: 2,
+                        dest: 5,
+                    },
+                    TraceRecord {
+                        cycle: 1,
+                        source: 11,
+                        dest: 0,
+                    },
+                ],
+            }),
+        ];
+        for traffic in patterns {
+            for mode in [BufferMode::Unbuffered, BufferMode::Fifo(4)] {
+                let cfg = quick_config()
+                    .with_load(0.7)
+                    .with_buffer(mode)
+                    .with_traffic(traffic.clone());
+                let mut reused = Simulator::new(omega(4), cfg.clone()).unwrap();
+                for seed in [42u64, 7, 42] {
+                    reused.reseed(seed);
+                    let fresh = simulate(omega(4), cfg.clone().with_seed(seed)).unwrap();
+                    assert_eq!(reused.run(), fresh, "{traffic:?} mode {mode:?} seed {seed}");
+                }
+            }
+        }
     }
 
     #[test]

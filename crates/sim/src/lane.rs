@@ -48,12 +48,12 @@
 //! oracle pins the two paths byte-identical.
 
 use crate::batch::LANE_MAX_STAGES;
-use crate::config::{BufferMode, SimConfig};
+use crate::config::{BufferMode, ConfigError, SimConfig};
 use crate::engine::SimError;
 use crate::fabric::Fabric;
 use crate::fault::{FaultRuntime, FaultView, LinkStatus};
 use crate::metrics::Metrics;
-use crate::traffic::TrafficPattern;
+use crate::traffic::{DestSampler, TrafficPattern};
 use min_core::ConnectionNetwork;
 use rand::Rng;
 use rand::SeedableRng;
@@ -208,8 +208,9 @@ pub struct LaneEngine {
     cells: usize,
     /// Tag bits consulted while switching (`stages - 1` port choices).
     conn_bits: usize,
-    /// Destination bits (`log2(cells)`), the traffic generators' draw width.
-    dest_bits: usize,
+    /// Destination sampler of the traffic pattern, shared with the scalar
+    /// engine's draw path so both stay bit-identical.
+    sampler: DestSampler,
     /// Queue occupancy, one word per slot: slot `(stage*cells + cell)*2 + q`
     /// holds position `q` (0 = front) of that cell's two-packet queue; bit
     /// `r` is set when replication `r` has a packet there.
@@ -248,14 +249,20 @@ impl LaneEngine {
     /// # Panics
     ///
     /// Panics when `config.buffer_mode` is not [`BufferMode::Unbuffered`],
-    /// `seeds` is empty or longer than [`LANE_WIDTH`], or the fabric is
-    /// deeper than [`LANE_MAX_STAGES`] — the batching layer gates
-    /// eligibility before constructing one.
+    /// the traffic pattern is stateful ([`TrafficPattern::is_stateful`] —
+    /// ON/OFF chains and trace schedules run on the scalar engine), `seeds`
+    /// is empty or longer than [`LANE_WIDTH`], or the fabric is deeper than
+    /// [`LANE_MAX_STAGES`] — the batching layer gates eligibility before
+    /// constructing one.
     pub fn new(net: ConnectionNetwork, config: SimConfig, seeds: &[u64]) -> Result<Self, SimError> {
         assert_eq!(
             config.buffer_mode,
             BufferMode::Unbuffered,
             "the packed engine models only the unbuffered core"
+        );
+        assert!(
+            !config.traffic.is_stateful(),
+            "stateful traffic patterns run on the scalar engine"
         );
         assert!(
             !seeds.is_empty() && seeds.len() <= LANE_WIDTH,
@@ -264,6 +271,10 @@ impl LaneEngine {
         );
         config.validate()?;
         let fabric = Fabric::new(net)?;
+        config
+            .traffic
+            .validate_for(fabric.cells() as u32)
+            .map_err(ConfigError::from)?;
         let faults = if config.fault_plan.is_empty() {
             None
         } else {
@@ -283,7 +294,9 @@ impl LaneEngine {
         );
         let cells = fabric.cells();
         let conn_bits = stages - 1;
-        let dest_bits = fabric.network().width();
+        let sampler = config
+            .traffic
+            .sampler(cells as u32, fabric.network().width());
         let slots = stages * cells * 2;
         let mut next = Vec::with_capacity((stages - 1) * cells * 2);
         for stage in 0..stages - 1 {
@@ -305,7 +318,7 @@ impl LaneEngine {
             stages,
             cells,
             conn_bits,
-            dest_bits,
+            sampler,
             occ: vec![0; slots],
             tag: vec![0; slots * conn_bits],
             next,
@@ -524,10 +537,10 @@ impl LaneEngine {
     /// dispatch.
     fn inject(&mut self, faults: Option<&FaultRuntime>) {
         let load = self.config.offered_load;
-        let width_bits = self.dest_bits;
         let cells = self.cells as u32;
         debug_assert!(self.occ[..self.cells * 2].iter().all(|&w| w == 0));
         let fabric = &self.fabric;
+        let sampler = &self.sampler;
         let ctx = InjectCtx {
             cells: self.cells,
             lanes: self.lanes,
@@ -544,11 +557,9 @@ impl LaneEngine {
             (TrafficPattern::Uniform, None) => {
                 ctx.run(|_cell, rng| Some(fabric.tag_for(rng.gen_range(0..cells))))
             }
-            (traffic, None) => ctx.run(|cell, rng| {
-                Some(fabric.tag_for(traffic.destination(cell, cells, width_bits, rng)))
-            }),
-            (traffic, Some(rt)) => ctx.run(|cell, rng| {
-                let destination = traffic.destination(cell, cells, width_bits, rng);
+            (_, None) => ctx.run(|cell, rng| Some(fabric.tag_for(sampler.draw(cell, rng)))),
+            (_, Some(rt)) => ctx.run(|cell, rng| {
+                let destination = sampler.draw(cell, rng);
                 rt.pair_tag(cell as usize, destination as usize)
             }),
         }
@@ -691,6 +702,7 @@ mod tests {
             },
             TrafficPattern::Permutation((0..cells).rev().collect()),
             TrafficPattern::BitReversal,
+            TrafficPattern::Zipf { exponent: 1.1 },
         ];
         for pattern in patterns {
             let config = SimConfig::default()
@@ -776,6 +788,17 @@ mod tests {
     #[should_panic(expected = "unbuffered")]
     fn buffered_modes_are_rejected() {
         let config = SimConfig::default().with_buffer(BufferMode::Fifo(4));
+        let _ = LaneEngine::new(omega(3), config, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stateful")]
+    fn stateful_traffic_is_rejected() {
+        let config = SimConfig::default().with_traffic(TrafficPattern::OnOff {
+            on_dwell: 8.0,
+            off_dwell: 8.0,
+            on_rate: 1.0,
+        });
         let _ = LaneEngine::new(omega(3), config, &[1]);
     }
 }

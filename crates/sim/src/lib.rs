@@ -18,8 +18,12 @@
 //! * destination-tag routing using the self-routing tables of `min-routing`
 //!   (the simulator therefore requires a delta network, which every
 //!   PIPID-built network is);
-//! * traffic generators ([`traffic`]) — Bernoulli uniform, hot-spot, and
-//!   fixed permutation;
+//! * traffic generators ([`traffic`]) — Bernoulli uniform, hot-spot, fixed
+//!   permutation and bit-reversal, plus the production-shaped suite:
+//!   Zipf-skewed destinations (precomputed-CDF sampling), bursty
+//!   Markov-modulated ON/OFF sources, and trace replay from a compact
+//!   versioned on-disk format — all validated up front with typed errors
+//!   and deterministic under the per-scenario seeding;
 //! * metrics ([`metrics`]) — offered/accepted/delivered counts, normalized
 //!   throughput, per-cause drop counters (arbitration loss vs. downstream
 //!   backpressure), flit-level stall and lane-occupancy accounting for
@@ -73,4 +77,7 @@ pub use lane::{LaneEngine, LANE_WIDTH};
 pub use metrics::Metrics;
 pub use packet::{Flit, Packet};
 pub use switch::{FifoCore, RingArena, SwitchCore, UnbufferedCore, WormholeCore};
-pub use traffic::TrafficPattern;
+pub use traffic::{
+    DestSampler, Offer, TraceData, TraceError, TraceRecord, TrafficError, TrafficPattern,
+    TrafficSources, ZipfCdf,
+};

@@ -1,9 +1,38 @@
-//! Traffic patterns (destination distributions).
+//! Traffic generation: destination distributions and injection processes.
+//!
+//! The original four patterns (uniform, hot-spot, fixed permutation,
+//! bit-reversal) are *stateless*: each injection draws a destination and
+//! nothing else persists between cycles. The production-shaped suite adds
+//!
+//! * [`TrafficPattern::Zipf`] — destinations skewed by a Zipf law over the
+//!   cell index, sampled from a precomputed CDF ([`ZipfCdf`]) with one
+//!   64-bit draw and a binary search;
+//! * [`TrafficPattern::OnOff`] — bursty Markov-modulated sources: every
+//!   terminal owns a two-state (ON/OFF) chain with geometric dwell times
+//!   and injects only while ON, so the instantaneous rate during a burst
+//!   far exceeds the long-run mean;
+//! * [`TrafficPattern::Trace`] — exact replay of a recorded
+//!   `(cycle, source, dest)` schedule ([`TraceData`]), with a compact
+//!   versioned on-disk format and a loader returning typed errors.
+//!
+//! Injection state lives in [`TrafficSources`], which the engine asks for
+//! an [`Offer`] per (cell, terminal) each cycle; destination draws go
+//! through a [`DestSampler`] so the scalar and word-packed engines share
+//! one draw path and stay bit-identical. Everything is deterministic under
+//! the engine's per-scenario ChaCha8 streams: a pattern draws nothing
+//! beyond its documented per-offer draws, in a fixed order.
+//!
+//! Parameters are validated **up front** ([`TrafficPattern::validate`] for
+//! cell-count-independent checks, [`TrafficPattern::validate_for`] against
+//! a concrete fabric) and the draw paths assume validated input: a NaN
+//! hot-spot fraction or a mismatched permutation is a typed
+//! [`TrafficError`] at configuration time, never a panic in the hot path.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// How injected packets choose their destination cell.
+/// How injected packets choose their destination cell — and, for the
+/// stateful members, *when* packets are injected at all.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TrafficPattern {
     /// Every destination cell is equally likely.
@@ -11,16 +40,213 @@ pub enum TrafficPattern {
     /// With probability `fraction` the packet goes to `target`; otherwise the
     /// destination is uniform (the classic hot-spot model).
     Hotspot {
-        /// Probability of addressing the hot cell.
+        /// Probability of addressing the hot cell (finite, in `[0, 1]`).
         fraction: f64,
-        /// The hot destination cell.
+        /// The hot destination cell (must lie inside the fabric).
         target: u32,
     },
     /// Source cell `s` always sends to `destinations[s]` (a fixed
-    /// cell-level traffic permutation or pattern).
+    /// cell-level traffic permutation or many-to-one pattern). The vector
+    /// must have exactly one entry per cell, each a valid cell index.
     Permutation(Vec<u32>),
     /// Source cell `s` sends to the bit-reversal of `s`.
     BitReversal,
+    /// Destinations follow a Zipf law over the cell index: cell `d` is
+    /// drawn with probability proportional to `1 / (d + 1)^exponent`, so
+    /// low-numbered cells are "popular" and the skew grows with the
+    /// exponent (`0` degenerates to uniform). Sampling uses a precomputed
+    /// CDF and costs one 64-bit draw plus a binary search.
+    Zipf {
+        /// Skew exponent (finite, non-negative; typical values `0.5..=1.5`).
+        exponent: f64,
+    },
+    /// Bursty Markov-modulated sources: each of the `2 × cells` terminals
+    /// runs an independent two-state chain. A terminal starts ON, leaves
+    /// the ON state with probability `1 / on_dwell` per cycle and the OFF
+    /// state with probability `1 / off_dwell`, so dwell times are geometric
+    /// with the configured means. While ON it injects with probability
+    /// `offered_load × on_rate` per cycle (destinations uniform); while OFF
+    /// it injects nothing. The long-run offered rate is therefore
+    /// `offered_load × on_rate × on_dwell / (on_dwell + off_dwell)`, while
+    /// the in-burst rate is `offered_load × on_rate` — the gap is the
+    /// burstiness.
+    OnOff {
+        /// Mean ON-burst length in cycles (finite, `>= 1`).
+        on_dwell: f64,
+        /// Mean OFF-gap length in cycles (finite, `>= 1`).
+        off_dwell: f64,
+        /// In-burst injection probability scale (finite, in `(0, 1]`),
+        /// multiplied with the configured offered load.
+        on_rate: f64,
+    },
+    /// Exact replay of a recorded schedule: packets are injected at the
+    /// recorded (cycle, terminal) slots toward the recorded destinations,
+    /// wrapping around the trace period. The configured offered load is
+    /// ignored — the trace *is* the load. No RNG is drawn.
+    Trace(TraceData),
+}
+
+/// Why a traffic pattern (or its fit to a fabric) is invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficError {
+    /// A parameter that must be a finite float is NaN or infinite. (A NaN
+    /// can arrive through deserialization — `1e999` parses to infinity —
+    /// and previously propagated through a `clamp` into the RNG's range
+    /// assertion; now it is rejected here.)
+    NonFinite {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter is outside its documented range.
+    OutOfRange {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The hot-spot target does not name a cell of the fabric.
+    HotspotTargetOutOfRange {
+        /// The configured target cell.
+        target: u32,
+        /// Cells per stage of the fabric.
+        cells: u32,
+    },
+    /// The permutation vector's length does not match the fabric (one entry
+    /// per cell). Previously the draw path silently wrapped the source
+    /// index around the vector, masking the misconfiguration.
+    PermutationLength {
+        /// The configured vector length.
+        len: usize,
+        /// Cells per stage of the fabric.
+        cells: u32,
+    },
+    /// A permutation entry does not name a cell of the fabric. Previously
+    /// the draw path silently reduced entries modulo the cell count.
+    PermutationEntry {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending entry.
+        entry: u32,
+        /// Cells per stage of the fabric.
+        cells: u32,
+    },
+    /// The trace was recorded for a different fabric width.
+    TraceCellsMismatch {
+        /// Cells per stage the trace was recorded for.
+        trace: u32,
+        /// Cells per stage of the fabric.
+        cells: u32,
+    },
+    /// The trace has a zero period or zero cells — nothing to replay.
+    TraceEmpty,
+    /// A trace record's cycle lies at or beyond the trace period.
+    TraceCycleBeyondPeriod {
+        /// Index of the offending record.
+        record: usize,
+        /// The record's cycle.
+        cycle: u32,
+        /// The trace period.
+        period: u32,
+    },
+    /// A trace record's source is not a terminal index (`0..2 × cells`).
+    TraceSourceOutOfRange {
+        /// Index of the offending record.
+        record: usize,
+        /// The record's source terminal.
+        source: u32,
+        /// Number of injection terminals (`2 × cells`).
+        terminals: u32,
+    },
+    /// A trace record's destination is not a cell index.
+    TraceDestOutOfRange {
+        /// Index of the offending record.
+        record: usize,
+        /// The record's destination cell.
+        dest: u32,
+        /// Cells per stage the trace was recorded for.
+        cells: u32,
+    },
+    /// Trace records are not strictly sorted by `(cycle, source)` — the
+    /// canonical order, which also forbids two packets from one terminal
+    /// in one cycle.
+    TraceUnsorted {
+        /// Index of the first out-of-order record.
+        record: usize,
+    },
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            TrafficError::OutOfRange { what, value } => {
+                write!(f, "{what} is out of range: {value}")
+            }
+            TrafficError::HotspotTargetOutOfRange { target, cells } => {
+                write!(f, "hot-spot target {target} is not a cell index (< {cells})")
+            }
+            TrafficError::PermutationLength { len, cells } => write!(
+                f,
+                "permutation has {len} entries but the fabric has {cells} cells per stage"
+            ),
+            TrafficError::PermutationEntry {
+                index,
+                entry,
+                cells,
+            } => write!(
+                f,
+                "permutation entry {index} is {entry}, not a cell index (< {cells})"
+            ),
+            TrafficError::TraceCellsMismatch { trace, cells } => write!(
+                f,
+                "trace was recorded for {trace} cells per stage but the fabric has {cells}"
+            ),
+            TrafficError::TraceEmpty => write!(f, "trace has a zero period or zero cells"),
+            TrafficError::TraceCycleBeyondPeriod {
+                record,
+                cycle,
+                period,
+            } => write!(
+                f,
+                "trace record {record} is at cycle {cycle}, beyond the period {period}"
+            ),
+            TrafficError::TraceSourceOutOfRange {
+                record,
+                source,
+                terminals,
+            } => write!(
+                f,
+                "trace record {record} injects at terminal {source}, not a terminal index (< {terminals})"
+            ),
+            TrafficError::TraceDestOutOfRange {
+                record,
+                dest,
+                cells,
+            } => write!(
+                f,
+                "trace record {record} addresses cell {dest}, not a cell index (< {cells})"
+            ),
+            TrafficError::TraceUnsorted { record } => write!(
+                f,
+                "trace record {record} is not strictly ordered by (cycle, source)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// Checks that `value` is finite, returning the typed error otherwise.
+fn finite(what: &'static str, value: f64) -> Result<f64, TrafficError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(TrafficError::NonFinite { what, value })
+    }
 }
 
 impl TrafficPattern {
@@ -31,11 +257,145 @@ impl TrafficPattern {
             TrafficPattern::Hotspot { .. } => "hotspot",
             TrafficPattern::Permutation(_) => "permutation",
             TrafficPattern::BitReversal => "bit-reversal",
+            TrafficPattern::Zipf { .. } => "zipf",
+            TrafficPattern::OnOff { .. } => "on-off",
+            TrafficPattern::Trace(_) => "trace",
+        }
+    }
+
+    /// Whether the pattern carries per-source injection state across cycles
+    /// (ON/OFF chains, trace schedules). Stateful patterns run on the
+    /// scalar engine only; the batching layer routes them away from the
+    /// word-packed path.
+    pub fn is_stateful(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::OnOff { .. } | TrafficPattern::Trace(_)
+        )
+    }
+
+    /// Checks every parameter that can be checked without knowing the
+    /// fabric: probabilities are finite and in range, dwell times are at
+    /// least one cycle, the trace is internally consistent.
+    ///
+    /// [`crate::SimConfig::validate`] calls this, so invalid parameters are
+    /// typed errors at configuration time rather than panics at draw time.
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        match self {
+            TrafficPattern::Uniform
+            | TrafficPattern::BitReversal
+            | TrafficPattern::Permutation(_) => Ok(()),
+            TrafficPattern::Hotspot { fraction, .. } => {
+                let fraction = finite("hot-spot fraction", *fraction)?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(TrafficError::OutOfRange {
+                        what: "hot-spot fraction",
+                        value: fraction,
+                    });
+                }
+                Ok(())
+            }
+            TrafficPattern::Zipf { exponent } => {
+                let exponent = finite("zipf exponent", *exponent)?;
+                if exponent < 0.0 {
+                    return Err(TrafficError::OutOfRange {
+                        what: "zipf exponent",
+                        value: exponent,
+                    });
+                }
+                Ok(())
+            }
+            TrafficPattern::OnOff {
+                on_dwell,
+                off_dwell,
+                on_rate,
+            } => {
+                // Dwells of at least one cycle keep the per-cycle exit
+                // probabilities `1 / dwell` valid; an on-rate in `(0, 1]`
+                // keeps the in-burst injection probability
+                // `offered_load × on_rate` a probability for any valid load.
+                for (what, value) in [("on dwell", *on_dwell), ("off dwell", *off_dwell)] {
+                    if finite(what, value)? < 1.0 {
+                        return Err(TrafficError::OutOfRange { what, value });
+                    }
+                }
+                let on_rate = finite("on rate", *on_rate)?;
+                if !(on_rate > 0.0 && on_rate <= 1.0) {
+                    return Err(TrafficError::OutOfRange {
+                        what: "on rate",
+                        value: on_rate,
+                    });
+                }
+                Ok(())
+            }
+            TrafficPattern::Trace(trace) => trace.validate(),
+        }
+    }
+
+    /// Checks the pattern against a concrete fabric of `cells` cells per
+    /// stage, including everything [`TrafficPattern::validate`] checks: the
+    /// hot-spot target and every permutation entry must name a cell, the
+    /// permutation must have one entry per cell, and a trace must have been
+    /// recorded for exactly this width. [`crate::Simulator::new`] calls
+    /// this, so a mismatched pattern is a typed error at construction.
+    pub fn validate_for(&self, cells: u32) -> Result<(), TrafficError> {
+        self.validate()?;
+        match self {
+            TrafficPattern::Hotspot { target, .. } => {
+                if *target >= cells {
+                    return Err(TrafficError::HotspotTargetOutOfRange {
+                        target: *target,
+                        cells,
+                    });
+                }
+                Ok(())
+            }
+            TrafficPattern::Permutation(dest) => {
+                if dest.len() != cells as usize {
+                    return Err(TrafficError::PermutationLength {
+                        len: dest.len(),
+                        cells,
+                    });
+                }
+                for (index, &entry) in dest.iter().enumerate() {
+                    if entry >= cells {
+                        return Err(TrafficError::PermutationEntry {
+                            index,
+                            entry,
+                            cells,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            TrafficPattern::Trace(trace) => {
+                if trace.cells != cells {
+                    return Err(TrafficError::TraceCellsMismatch {
+                        trace: trace.cells,
+                        cells,
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
         }
     }
 
     /// Draws a destination for a packet injected at `source`, given `cells`
     /// cells per stage and `width_bits = log2(cells)`.
+    ///
+    /// The pattern must be valid for the fabric
+    /// ([`TrafficPattern::validate_for`]); the engines guarantee this by
+    /// validating at construction. For [`TrafficPattern::Zipf`] this
+    /// rebuilds the CDF per call — engines draw through
+    /// [`TrafficPattern::sampler`] instead, which precomputes it once (the
+    /// draws themselves are bit-identical either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`TrafficPattern::Trace`]: trace destinations come from
+    /// the recorded schedule via [`TrafficSources::offer`], never from a
+    /// distribution draw. The engines never call this for a trace.
     pub fn destination<R: Rng>(
         &self,
         source: u32,
@@ -44,21 +404,499 @@ impl TrafficPattern {
         rng: &mut R,
     ) -> u32 {
         match self {
-            TrafficPattern::Uniform => rng.gen_range(0..cells),
+            TrafficPattern::Uniform | TrafficPattern::OnOff { .. } => rng.gen_range(0..cells),
             TrafficPattern::Hotspot { fraction, target } => {
-                if rng.gen_bool((*fraction).clamp(0.0, 1.0)) {
-                    *target % cells
+                // `fraction` is validated finite and in [0, 1] up front, so
+                // no clamp runs here (a clamp would silently launder a NaN
+                // into the RNG's range assertion).
+                if rng.gen_bool(*fraction) {
+                    *target
                 } else {
                     rng.gen_range(0..cells)
                 }
             }
-            TrafficPattern::Permutation(dest) => dest[source as usize % dest.len()] % cells,
+            TrafficPattern::Permutation(dest) => dest[source as usize],
             TrafficPattern::BitReversal => {
                 let mut r = 0u32;
                 for k in 0..width_bits {
                     r |= ((source >> k) & 1) << (width_bits - 1 - k);
                 }
                 r
+            }
+            TrafficPattern::Zipf { exponent } => ZipfCdf::new(cells, *exponent).sample(rng),
+            TrafficPattern::Trace(_) => {
+                panic!("trace destinations are replayed via TrafficSources::offer, not drawn")
+            }
+        }
+    }
+
+    /// Builds the destination sampler the engines draw through: a
+    /// precomputed [`ZipfCdf`] for [`TrafficPattern::Zipf`], a delegate to
+    /// [`TrafficPattern::destination`] for every other pattern. The sampler
+    /// draws bit-identically to `destination`, so the scalar and packed
+    /// engines share one stream shape.
+    pub fn sampler(&self, cells: u32, width_bits: usize) -> DestSampler {
+        let kind = match self {
+            TrafficPattern::Zipf { exponent } => SamplerKind::Zipf(ZipfCdf::new(cells, *exponent)),
+            other => SamplerKind::Pattern(other.clone()),
+        };
+        DestSampler {
+            kind,
+            cells,
+            width_bits,
+        }
+    }
+}
+
+/// A precomputed Zipf CDF over cell indices, sampled with one `u64` draw
+/// and a binary search.
+///
+/// Cell `d` has weight `1 / (d + 1)^exponent`; the normalized cumulative
+/// weights are stored as fixed-point `u64` thresholds so sampling compares
+/// a raw [`rand::RngCore::next_u64`] draw against them — no floating-point
+/// arithmetic on the draw path, hence bit-identical across platforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfCdf {
+    /// Exclusive cumulative thresholds: cell `d` is chosen when the draw
+    /// falls in `thresholds[d - 1]..thresholds[d]` (with an implicit 0
+    /// before the first). The last entry is `u64::MAX`.
+    thresholds: Vec<u64>,
+}
+
+impl ZipfCdf {
+    /// Precomputes the CDF for `cells` destinations with the given (finite,
+    /// non-negative) exponent.
+    pub fn new(cells: u32, exponent: f64) -> Self {
+        let weights: Vec<f64> = (0..cells)
+            .map(|d| (f64::from(d) + 1.0).powf(-exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut thresholds = Vec::with_capacity(cells as usize);
+        let mut cum = 0.0;
+        for &w in &weights {
+            cum += w;
+            // Round-to-nearest keeps each cell's share within one ulp of
+            // the real CDF; the final threshold is pinned to the maximum so
+            // every draw lands on some cell.
+            thresholds.push(((cum / total) * (u64::MAX as f64)) as u64);
+        }
+        if let Some(last) = thresholds.last_mut() {
+            *last = u64::MAX;
+        }
+        ZipfCdf { thresholds }
+    }
+
+    /// Draws one destination: a single 64-bit draw, then a binary search
+    /// over the thresholds.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let x = rng.next_u64();
+        // First threshold strictly above the draw; the u64::MAX pin plus
+        // the min() guard keep the edge draw x == u64::MAX in range.
+        let idx = self.thresholds.partition_point(|&t| t <= x);
+        idx.min(self.thresholds.len() - 1) as u32
+    }
+}
+
+/// How a traffic pattern resolves destinations inside the engines: either a
+/// delegate to the pattern's own draw or a precomputed [`ZipfCdf`].
+///
+/// Built once per simulator via [`TrafficPattern::sampler`]; both the
+/// scalar and the word-packed engine draw through it, which is what keeps
+/// Zipf scenarios bit-identical across the two paths.
+#[derive(Debug, Clone)]
+pub struct DestSampler {
+    kind: SamplerKind,
+    cells: u32,
+    width_bits: usize,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Pattern(TrafficPattern),
+    Zipf(ZipfCdf),
+}
+
+impl DestSampler {
+    /// Draws a destination for a packet injected at `source`.
+    #[inline]
+    pub fn draw<R: Rng>(&self, source: u32, rng: &mut R) -> u32 {
+        match &self.kind {
+            SamplerKind::Pattern(pattern) => {
+                pattern.destination(source, self.cells, self.width_bits, rng)
+            }
+            SamplerKind::Zipf(cdf) => cdf.sample(rng),
+        }
+    }
+}
+
+/// One recorded injection: at `cycle` (within the trace period), terminal
+/// `source` injects a packet destined for cell `dest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Cycle within the trace period (`0..period`).
+    pub cycle: u32,
+    /// Injecting terminal (`0..2 × cells`; terminal `t` of cell `c` is
+    /// `2c + t`).
+    pub source: u32,
+    /// Destination cell (`0..cells`).
+    pub dest: u32,
+}
+
+/// A recorded traffic trace: a periodic schedule of
+/// `(cycle, source terminal, destination cell)` injections.
+///
+/// Replay wraps around [`TraceData::period`], so a trace shorter than the
+/// simulated run repeats. Records must be strictly sorted by
+/// `(cycle, source)` — the canonical order produced by
+/// [`TraceData::to_bytes`] and enforced by [`TraceData::validate`].
+///
+/// The struct serializes through serde like every other pattern variant
+/// (campaign grids and the min-serve wire protocol carry it as JSON); the
+/// compact binary form ([`TraceData::to_bytes`] / [`TraceData::from_bytes`]
+/// and the file wrappers) is for on-disk trace libraries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceData {
+    /// Cells per stage of the fabric the trace was recorded for.
+    pub cells: u32,
+    /// Trace period in cycles; replay uses `cycle % period`.
+    pub period: u32,
+    /// The recorded injections, strictly sorted by `(cycle, source)`.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Magic bytes opening the binary trace format.
+pub const TRACE_MAGIC: [u8; 4] = *b"MINT";
+/// Current (and only) binary trace format version.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Why binary trace bytes could not be decoded.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The bytes do not start with [`TRACE_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The header names a format version this loader does not speak.
+    UnsupportedVersion(u16),
+    /// The bytes end before the header or the declared records do.
+    Truncated {
+        /// Bytes the declared content needs.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Decodable bytes remain after the declared records.
+    TrailingBytes(usize),
+    /// The decoded trace fails semantic validation.
+    Invalid(TrafficError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::BadMagic(m) => {
+                write!(f, "not a trace file (magic {m:?}, want {TRACE_MAGIC:?})")
+            }
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (loader speaks {TRACE_VERSION})"
+                )
+            }
+            TraceError::Truncated { needed, available } => {
+                write!(f, "trace truncated: need {needed} bytes, have {available}")
+            }
+            TraceError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the declared records")
+            }
+            TraceError::Invalid(e) => write!(f, "trace is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Reads a little-endian `u32` at `offset` (caller guarantees bounds).
+fn read_u32(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+impl TraceData {
+    /// Header size of the binary format: magic, version, reserved, cells,
+    /// period, record count.
+    const HEADER_LEN: usize = 4 + 2 + 2 + 4 + 4 + 4;
+    /// Bytes per record: three little-endian `u32`s.
+    const RECORD_LEN: usize = 12;
+
+    /// Checks the trace's internal consistency: a nonzero period and cell
+    /// count, every record inside the period and the terminal/cell ranges,
+    /// and strict `(cycle, source)` ordering.
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        if self.period == 0 || self.cells == 0 {
+            return Err(TrafficError::TraceEmpty);
+        }
+        let terminals = self.cells * 2;
+        let mut prev: Option<(u32, u32)> = None;
+        for (record, r) in self.records.iter().enumerate() {
+            if r.cycle >= self.period {
+                return Err(TrafficError::TraceCycleBeyondPeriod {
+                    record,
+                    cycle: r.cycle,
+                    period: self.period,
+                });
+            }
+            if r.source >= terminals {
+                return Err(TrafficError::TraceSourceOutOfRange {
+                    record,
+                    source: r.source,
+                    terminals,
+                });
+            }
+            if r.dest >= self.cells {
+                return Err(TrafficError::TraceDestOutOfRange {
+                    record,
+                    dest: r.dest,
+                    cells: self.cells,
+                });
+            }
+            if prev.is_some_and(|p| p >= (r.cycle, r.source)) {
+                return Err(TrafficError::TraceUnsorted { record });
+            }
+            prev = Some((r.cycle, r.source));
+        }
+        Ok(())
+    }
+
+    /// Encodes the trace in the compact binary format: a 20-byte header
+    /// (magic, version, cells, period, record count) followed by one
+    /// 12-byte little-endian record per injection.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::HEADER_LEN + self.records.len() * Self::RECORD_LEN);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.cells.to_le_bytes());
+        out.extend_from_slice(&self.period.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.cycle.to_le_bytes());
+            out.extend_from_slice(&r.source.to_le_bytes());
+            out.extend_from_slice(&r.dest.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes and validates a trace from the binary format, with typed
+    /// errors for a bad magic, an unknown version, truncation, trailing
+    /// garbage, and semantic problems.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < Self::HEADER_LEN {
+            return Err(TraceError::Truncated {
+                needed: Self::HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let cells = read_u32(bytes, 8);
+        let period = read_u32(bytes, 12);
+        let count = read_u32(bytes, 16) as usize;
+        let needed = Self::HEADER_LEN + count * Self::RECORD_LEN;
+        if bytes.len() < needed {
+            return Err(TraceError::Truncated {
+                needed,
+                available: bytes.len(),
+            });
+        }
+        if bytes.len() > needed {
+            return Err(TraceError::TrailingBytes(bytes.len() - needed));
+        }
+        let records = (0..count)
+            .map(|i| {
+                let at = Self::HEADER_LEN + i * Self::RECORD_LEN;
+                TraceRecord {
+                    cycle: read_u32(bytes, at),
+                    source: read_u32(bytes, at + 4),
+                    dest: read_u32(bytes, at + 8),
+                }
+            })
+            .collect();
+        let trace = TraceData {
+            cells,
+            period,
+            records,
+        };
+        trace.validate().map_err(TraceError::Invalid)?;
+        Ok(trace)
+    }
+
+    /// Writes the binary form to a file.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Reads and validates a trace file.
+    pub fn read_from(path: impl AsRef<std::path::Path>) -> Result<Self, TraceError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// One injection decision for a (cell, terminal) slot in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Nothing to inject this cycle.
+    Idle,
+    /// Inject one packet; the destination comes from the pattern's
+    /// [`DestSampler`].
+    Packet,
+    /// Inject one packet to the given destination cell (trace replay — the
+    /// destination is part of the schedule, no draw happens).
+    PacketTo(u32),
+}
+
+/// Per-run injection state of a traffic pattern: the ON/OFF chains of
+/// bursty sources, the expanded schedule of a trace — or nothing at all for
+/// the stateless patterns, which keep the plain Bernoulli coin.
+///
+/// The engine asks [`TrafficSources::offer`] once per (cell, terminal) slot
+/// per cycle, in (cell ascending, terminal) order; each call makes the
+/// documented RNG draws for its pattern (exactly one `gen_bool` for
+/// stateless patterns — the same coin the engine drew before this type
+/// existed — one or two for ON/OFF chains, none for a trace), which is what
+/// keeps runs deterministic and replications bit-identical across engines.
+#[derive(Debug, Clone)]
+pub struct TrafficSources {
+    kind: SourceKind,
+}
+
+#[derive(Debug, Clone)]
+enum SourceKind {
+    /// Stateless patterns: one Bernoulli coin per slot per cycle.
+    Bernoulli,
+    /// Markov-modulated ON/OFF: per-terminal chain state plus the
+    /// precomputed exit probabilities.
+    OnOff {
+        /// Chain state per terminal (`2 × cells`, terminal `t` of cell `c`
+        /// at index `2c + t`); everyone starts ON.
+        on: Vec<bool>,
+        exit_on: f64,
+        exit_off: f64,
+        on_rate: f64,
+    },
+    /// Trace replay: the records expanded into a per-cycle schedule,
+    /// sorted by terminal for binary search.
+    Trace {
+        period: u64,
+        /// `schedule[cycle % period]` = sorted `(terminal, dest)` pairs.
+        schedule: Vec<Vec<(u32, u32)>>,
+    },
+}
+
+impl TrafficSources {
+    /// Builds the injection state for a validated pattern on a fabric of
+    /// `cells` cells per stage.
+    pub fn new(pattern: &TrafficPattern, cells: usize) -> Self {
+        let kind = match pattern {
+            TrafficPattern::OnOff {
+                on_dwell,
+                off_dwell,
+                on_rate,
+            } => SourceKind::OnOff {
+                on: vec![true; cells * 2],
+                exit_on: 1.0 / on_dwell,
+                exit_off: 1.0 / off_dwell,
+                on_rate: *on_rate,
+            },
+            TrafficPattern::Trace(trace) => {
+                let mut schedule = vec![Vec::new(); trace.period as usize];
+                for r in &trace.records {
+                    schedule[r.cycle as usize].push((r.source, r.dest));
+                }
+                // Validated traces are (cycle, source)-sorted, so each
+                // cycle's list arrives terminal-sorted for binary search.
+                SourceKind::Trace {
+                    period: u64::from(trace.period),
+                    schedule,
+                }
+            }
+            _ => SourceKind::Bernoulli,
+        };
+        TrafficSources { kind }
+    }
+
+    /// Rewinds the injection state to cycle 0 (every ON/OFF chain back to
+    /// ON). [`crate::Simulator::reseed`] calls this so a reused engine is
+    /// bit-identical to a freshly built one.
+    pub fn reset(&mut self) {
+        if let SourceKind::OnOff { on, .. } = &mut self.kind {
+            on.iter_mut().for_each(|state| *state = true);
+        }
+    }
+
+    /// Decides whether terminal `terminal` of first-stage cell `cell`
+    /// offers a packet this cycle at the configured `load`.
+    ///
+    /// Stateless patterns draw the classic Bernoulli coin. ON/OFF chains
+    /// first advance their state (one draw), then — while ON — draw the
+    /// injection coin at `load × on_rate`. Trace replay draws nothing and
+    /// ignores `load`: the recorded schedule is the load.
+    pub fn offer<R: Rng>(
+        &mut self,
+        cycle: u64,
+        cell: u32,
+        terminal: usize,
+        load: f64,
+        rng: &mut R,
+    ) -> Offer {
+        match &mut self.kind {
+            SourceKind::Bernoulli => {
+                if rng.gen_bool(load) {
+                    Offer::Packet
+                } else {
+                    Offer::Idle
+                }
+            }
+            SourceKind::OnOff {
+                on,
+                exit_on,
+                exit_off,
+                on_rate,
+            } => {
+                let state = &mut on[cell as usize * 2 + terminal];
+                if *state {
+                    if rng.gen_bool(*exit_on) {
+                        *state = false;
+                    }
+                } else if rng.gen_bool(*exit_off) {
+                    *state = true;
+                }
+                if *state && rng.gen_bool(load * *on_rate) {
+                    Offer::Packet
+                } else {
+                    Offer::Idle
+                }
+            }
+            SourceKind::Trace { period, schedule } => {
+                let slot = &schedule[(cycle % *period) as usize];
+                let want = cell * 2 + terminal as u32;
+                match slot.binary_search_by_key(&want, |&(t, _)| t) {
+                    Ok(i) => Offer::PacketTo(slot[i].1),
+                    Err(_) => Offer::Idle,
+                }
             }
         }
     }
@@ -67,7 +905,7 @@ impl TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     #[test]
@@ -110,5 +948,400 @@ mod tests {
         let pattern = TrafficPattern::BitReversal;
         assert_eq!(pattern.destination(0b001, 8, 3, &mut rng), 0b100);
         assert_eq!(pattern.destination(0b110, 8, 3, &mut rng), 0b011);
+    }
+
+    #[test]
+    fn labels_cover_the_new_patterns() {
+        assert_eq!(TrafficPattern::Zipf { exponent: 1.0 }.label(), "zipf");
+        let on_off = TrafficPattern::OnOff {
+            on_dwell: 8.0,
+            off_dwell: 8.0,
+            on_rate: 1.0,
+        };
+        assert_eq!(on_off.label(), "on-off");
+        assert!(on_off.is_stateful());
+        let trace = TrafficPattern::Trace(two_record_trace());
+        assert_eq!(trace.label(), "trace");
+        assert!(trace.is_stateful());
+        assert!(!TrafficPattern::Uniform.is_stateful());
+        assert!(!TrafficPattern::Zipf { exponent: 1.0 }.is_stateful());
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_covers_all_cells() {
+        let cdf = ZipfCdf::new(16, 1.0);
+        assert!(cdf.thresholds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*cdf.thresholds.last().unwrap(), u64::MAX);
+        let mut rng = ChaCha8Rng::seed_from_u64(233);
+        let mut seen = [false; 16];
+        for _ in 0..5_000 {
+            seen[cdf.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "seen {seen:?}");
+    }
+
+    #[test]
+    fn zipf_rank_frequency_follows_the_exponent() {
+        // With exponent s, count(rank d) / count(rank 0) ≈ (d + 1)^-s; check
+        // the slope at a few ranks with generous sampling-noise bands.
+        let exponent = 1.2;
+        let cdf = ZipfCdf::new(32, exponent);
+        let mut rng = ChaCha8Rng::seed_from_u64(239);
+        let mut counts = [0u64; 32];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[cdf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts
+            .windows(2)
+            .all(|w| w[0] >= w[1].saturating_sub(w[1] / 4)));
+        for rank in [1usize, 3, 7] {
+            let expected = f64::powf(rank as f64 + 1.0, -exponent);
+            let measured = counts[rank] as f64 / counts[0] as f64;
+            let rel = (measured - expected).abs() / expected;
+            assert!(
+                rel < 0.15,
+                "rank {rank}: measured {measured:.4} vs expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_degenerates_to_uniform() {
+        let cdf = ZipfCdf::new(8, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(241);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[cdf.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let rel = (c as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(rel < 0.1, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn on_off_burst_lengths_match_the_dwell() {
+        // At load 1 and on_rate 1, offers directly expose the chain state:
+        // mean ON-run and OFF-gap lengths must match the configured dwells
+        // (geometric distributions with those means).
+        let pattern = TrafficPattern::OnOff {
+            on_dwell: 12.0,
+            off_dwell: 4.0,
+            on_rate: 1.0,
+        };
+        let mut sources = TrafficSources::new(&pattern, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(251);
+        let (mut bursts, mut gaps) = (Vec::new(), Vec::new());
+        let mut run = 0u64;
+        let mut last_on = true;
+        for cycle in 0..200_000u64 {
+            let on = sources.offer(cycle, 0, 0, 1.0, &mut rng) == Offer::Packet;
+            if on == last_on {
+                run += 1;
+            } else {
+                if last_on {
+                    bursts.push(run);
+                } else {
+                    gaps.push(run);
+                }
+                run = 1;
+                last_on = on;
+            }
+        }
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        let (mean_burst, mean_gap) = (mean(&bursts), mean(&gaps));
+        assert!(
+            (mean_burst - 12.0).abs() < 1.5,
+            "mean burst {mean_burst} vs dwell 12"
+        );
+        assert!(
+            (mean_gap - 4.0).abs() < 0.8,
+            "mean gap {mean_gap} vs dwell 4"
+        );
+    }
+
+    #[test]
+    fn on_off_reset_restores_the_initial_state() {
+        let pattern = TrafficPattern::OnOff {
+            on_dwell: 3.0,
+            off_dwell: 3.0,
+            on_rate: 1.0,
+        };
+        let mut sources = TrafficSources::new(&pattern, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(257);
+        let first: Vec<Offer> = (0..50)
+            .map(|c| sources.offer(c, c as u32 % 2, 0, 0.8, &mut rng))
+            .collect();
+        sources.reset();
+        let mut rng = ChaCha8Rng::seed_from_u64(257);
+        let second: Vec<Offer> = (0..50)
+            .map(|c| sources.offer(c, c as u32 % 2, 0, 0.8, &mut rng))
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    fn two_record_trace() -> TraceData {
+        TraceData {
+            cells: 4,
+            period: 3,
+            records: vec![
+                TraceRecord {
+                    cycle: 0,
+                    source: 1,
+                    dest: 3,
+                },
+                TraceRecord {
+                    cycle: 2,
+                    source: 6,
+                    dest: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_replay_follows_the_schedule_and_wraps() {
+        let pattern = TrafficPattern::Trace(two_record_trace());
+        let mut sources = TrafficSources::new(&pattern, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(263);
+        for lap in 0..2u64 {
+            let base = lap * 3;
+            // cycle 0: terminal 1 = (cell 0, terminal 1) sends to cell 3.
+            assert_eq!(sources.offer(base, 0, 1, 0.5, &mut rng), Offer::PacketTo(3));
+            assert_eq!(sources.offer(base, 0, 0, 0.5, &mut rng), Offer::Idle);
+            // cycle 2: terminal 6 = (cell 3, terminal 0) sends to cell 0.
+            assert_eq!(
+                sources.offer(base + 2, 3, 0, 0.5, &mut rng),
+                Offer::PacketTo(0)
+            );
+            assert_eq!(sources.offer(base + 1, 2, 1, 0.5, &mut rng), Offer::Idle);
+        }
+        // The trace draws nothing: the RNG is untouched.
+        let mut fresh = ChaCha8Rng::seed_from_u64(263);
+        assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_binary_format() {
+        let trace = two_record_trace();
+        let bytes = trace.to_bytes();
+        assert_eq!(&bytes[0..4], &TRACE_MAGIC);
+        assert_eq!(TraceData::from_bytes(&bytes).unwrap(), trace);
+
+        let dir = std::env::temp_dir().join("min_sim_trace_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mintrace");
+        trace.write_to(&path).unwrap();
+        assert_eq!(TraceData::read_from(&path).unwrap(), trace);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_loader_rejects_corrupt_bytes() {
+        let good = two_record_trace().to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            TraceData::from_bytes(&bad_magic),
+            Err(TraceError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            TraceData::from_bytes(&bad_version),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+
+        assert!(matches!(
+            TraceData::from_bytes(&good[..good.len() - 1]),
+            Err(TraceError::Truncated { .. })
+        ));
+        assert!(matches!(
+            TraceData::from_bytes(&good[..10]),
+            Err(TraceError::Truncated { .. })
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            TraceData::from_bytes(&trailing),
+            Err(TraceError::TrailingBytes(1))
+        ));
+
+        // Semantic problems surface through the same loader.
+        let mut unsorted = two_record_trace();
+        unsorted.records.swap(0, 1);
+        assert!(matches!(
+            TraceData::from_bytes(&unsorted.to_bytes()),
+            Err(TraceError::Invalid(TrafficError::TraceUnsorted {
+                record: 1
+            }))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_and_out_of_range_parameters() {
+        for fraction in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                TrafficPattern::Hotspot {
+                    fraction,
+                    target: 0
+                }
+                .validate(),
+                Err(TrafficError::NonFinite { .. })
+            ));
+        }
+        for fraction in [-0.1, 1.5] {
+            assert!(matches!(
+                TrafficPattern::Hotspot {
+                    fraction,
+                    target: 0
+                }
+                .validate(),
+                Err(TrafficError::OutOfRange { .. })
+            ));
+        }
+        assert!(matches!(
+            TrafficPattern::Zipf { exponent: f64::NAN }.validate(),
+            Err(TrafficError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            TrafficPattern::Zipf { exponent: -1.0 }.validate(),
+            Err(TrafficError::OutOfRange { .. })
+        ));
+        let bad_on_off = [
+            (0.5, 4.0, 1.0),
+            (4.0, f64::NAN, 1.0),
+            (4.0, 4.0, 0.0),
+            (4.0, 4.0, 1.5),
+        ];
+        for (on_dwell, off_dwell, on_rate) in bad_on_off {
+            assert!(
+                TrafficPattern::OnOff {
+                    on_dwell,
+                    off_dwell,
+                    on_rate
+                }
+                .validate()
+                .is_err(),
+                "({on_dwell}, {off_dwell}, {on_rate})"
+            );
+        }
+        assert_eq!(
+            TrafficPattern::OnOff {
+                on_dwell: 8.0,
+                off_dwell: 2.0,
+                on_rate: 0.5
+            }
+            .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_for_checks_the_fabric_fit() {
+        assert_eq!(
+            TrafficPattern::Hotspot {
+                fraction: 0.5,
+                target: 8
+            }
+            .validate_for(8),
+            Err(TrafficError::HotspotTargetOutOfRange {
+                target: 8,
+                cells: 8
+            })
+        );
+        assert_eq!(
+            TrafficPattern::Permutation(vec![0, 1, 2]).validate_for(4),
+            Err(TrafficError::PermutationLength { len: 3, cells: 4 })
+        );
+        assert_eq!(
+            TrafficPattern::Permutation(vec![0, 1, 2, 4]).validate_for(4),
+            Err(TrafficError::PermutationEntry {
+                index: 3,
+                entry: 4,
+                cells: 4
+            })
+        );
+        assert_eq!(
+            TrafficPattern::Permutation(vec![3, 2, 1, 0]).validate_for(4),
+            Ok(())
+        );
+        assert_eq!(
+            TrafficPattern::Trace(two_record_trace()).validate_for(8),
+            Err(TrafficError::TraceCellsMismatch { trace: 4, cells: 8 })
+        );
+        assert_eq!(
+            TrafficPattern::Trace(two_record_trace()).validate_for(4),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn trace_validation_rejects_out_of_range_records() {
+        let mut cycle_high = two_record_trace();
+        cycle_high.records[1].cycle = 3;
+        assert!(matches!(
+            cycle_high.validate(),
+            Err(TrafficError::TraceCycleBeyondPeriod { .. })
+        ));
+        let mut source_high = two_record_trace();
+        source_high.records[1].source = 8;
+        assert!(matches!(
+            source_high.validate(),
+            Err(TrafficError::TraceSourceOutOfRange { .. })
+        ));
+        let mut dest_high = two_record_trace();
+        dest_high.records[0].dest = 4;
+        assert!(matches!(
+            dest_high.validate(),
+            Err(TrafficError::TraceDestOutOfRange { .. })
+        ));
+        let empty = TraceData {
+            cells: 4,
+            period: 0,
+            records: vec![],
+        };
+        assert_eq!(empty.validate(), Err(TrafficError::TraceEmpty));
+        // Duplicate (cycle, source) pairs are unsorted by definition.
+        let mut dup = two_record_trace();
+        dup.records[1] = dup.records[0];
+        assert!(matches!(
+            dup.validate(),
+            Err(TrafficError::TraceUnsorted { record: 1 })
+        ));
+    }
+
+    #[test]
+    fn sampler_draws_match_destination_draws() {
+        // The sampler must consume the RNG exactly like the compat path so
+        // engines can migrate to it without moving any stream.
+        let patterns = [
+            TrafficPattern::Uniform,
+            TrafficPattern::Hotspot {
+                fraction: 0.3,
+                target: 5,
+            },
+            TrafficPattern::BitReversal,
+            TrafficPattern::Zipf { exponent: 0.9 },
+        ];
+        for pattern in patterns {
+            let sampler = pattern.sampler(8, 3);
+            let mut a = ChaCha8Rng::seed_from_u64(269);
+            let mut b = ChaCha8Rng::seed_from_u64(269);
+            for source in 0..8u32 {
+                for _ in 0..64 {
+                    assert_eq!(
+                        sampler.draw(source, &mut a),
+                        pattern.destination(source, 8, 3, &mut b),
+                        "{pattern:?}"
+                    );
+                }
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "stream alignment {pattern:?}");
+        }
     }
 }

@@ -1,0 +1,128 @@
+//! Property tests for the saturation-curve accessors.
+//!
+//! The stability campaigns locate saturation points by comparing
+//! `offered_rate` against `normalized_throughput`, so those accessors (and
+//! their flit/acceptance/occupancy siblings) must be trustworthy across
+//! every switching core and traffic pattern: finite, non-negative, and
+//! correctly ordered — throughput never exceeds the offered rate, the
+//! acceptance rate is a probability, the occupancy is a fraction. These
+//! proptests drive random runs of all three cores (unbuffered, FIFO,
+//! wormhole) under the full traffic suite and pin the invariants.
+
+use min_networks::ClassicalNetwork;
+use min_sim::{simulate, BufferMode, SimConfig, TraceData, TraceRecord, TrafficPattern};
+use proptest::prelude::*;
+
+const CYCLES: u64 = 150;
+const WARMUP: u64 = 15;
+
+/// Builds one of the six patterns for a fabric of `cells` cells per stage
+/// (the pattern axes are cell-count-dependent, so construction happens
+/// inside the test body once the network geometry is drawn).
+fn make_traffic(kind: usize, p: f64, exponent: f64, cells: u32) -> TrafficPattern {
+    match kind {
+        0 => TrafficPattern::Uniform,
+        1 => TrafficPattern::BitReversal,
+        2 => TrafficPattern::Hotspot {
+            fraction: p,
+            target: cells - 1,
+        },
+        3 => TrafficPattern::Zipf { exponent },
+        4 => TrafficPattern::OnOff {
+            on_dwell: 2.0 + exponent * 10.0,
+            off_dwell: 2.0 + p * 10.0,
+            on_rate: p,
+        },
+        _ => TrafficPattern::Trace(TraceData {
+            cells,
+            period: 3,
+            records: vec![
+                TraceRecord {
+                    cycle: 0,
+                    source: 0,
+                    dest: cells - 1,
+                },
+                TraceRecord {
+                    cycle: 1,
+                    source: 2 * cells - 1,
+                    dest: 0,
+                },
+            ],
+        }),
+    }
+}
+
+fn mode_strategy() -> impl Strategy<Value = BufferMode> {
+    (0usize..3, 1usize..4, 1usize..4).prop_map(|(kind, a, b)| match kind {
+        0 => BufferMode::Unbuffered,
+        1 => BufferMode::Fifo(a + 1),
+        _ => BufferMode::Wormhole {
+            lanes: a,
+            lane_depth: b + 1,
+            flits_per_packet: a + b,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every rate accessor is finite, non-negative and correctly ordered:
+    /// delivered throughput cannot exceed the offered rate, acceptance and
+    /// occupancy are fractions in `[0, 1]`, and the flit throughput is at
+    /// least the packet throughput (a packet is one or more flits).
+    #[test]
+    fn rate_accessors_are_finite_and_ordered(
+        family_index in 0usize..ClassicalNetwork::ALL.len(),
+        stages in 3usize..=5,
+        load in 0.0f64..=1.0,
+        mode in mode_strategy(),
+        seed in any::<u64>(),
+        kind in 0usize..6,
+        p in 0.1f64..0.9,
+        exponent in 0.2f64..1.6,
+    ) {
+        let family = ClassicalNetwork::ALL[family_index];
+        let net = family.build(stages);
+        let cells = net.cells_per_stage() as u32;
+        let ports = 2 * cells as usize;
+        let m_mode = mode;
+        let config = SimConfig::default()
+            .with_load(load)
+            .with_buffer(mode)
+            .with_traffic(make_traffic(kind, p, exponent, cells))
+            .with_seed(seed)
+            .with_cycles(CYCLES, WARMUP);
+        let m = simulate(net, config).unwrap();
+
+        let offered = m.offered_rate(ports);
+        let throughput = m.normalized_throughput(ports);
+        let flits = m.flit_throughput(ports);
+        let acceptance = m.acceptance_rate();
+        let occupancy = m.mean_lane_occupancy();
+        for (name, value) in [
+            ("offered_rate", offered),
+            ("normalized_throughput", throughput),
+            ("flit_throughput", flits),
+            ("acceptance_rate", acceptance),
+            ("mean_lane_occupancy", occupancy),
+        ] {
+            prop_assert!(value.is_finite(), "{} = {}", name, value);
+            prop_assert!(value >= 0.0, "{} = {}", name, value);
+        }
+        prop_assert!(throughput <= offered + 1e-12,
+            "throughput {} exceeds offered {}", throughput, offered);
+        prop_assert!(acceptance <= 1.0, "acceptance {}", acceptance);
+        prop_assert!(occupancy <= 1.0, "occupancy {}", occupancy);
+        // Flit accounting is a wormhole concept: there every delivered
+        // packet ejected all its flits, so the flit rate dominates the
+        // packet rate; the packet-atomic cores count no flits at all.
+        if matches!(m_mode, BufferMode::Wormhole { .. }) {
+            prop_assert!(flits + 1e-12 >= throughput,
+                "flit throughput {} below packet throughput {}", flits, throughput);
+        } else {
+            prop_assert_eq!(m.flits_delivered, 0);
+        }
+        prop_assert!(m.offered >= m.injected);
+    }
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff saturation points between two stability-sweep reports.
+
+Usage: stability_delta.py PREVIOUS CURRENT
+
+PREVIOUS is a directory (searched recursively for ``stability*.json``) or a
+single file; CURRENT is the ``stability*.json`` produced by this run (the
+output of the ``stability_sweep`` example). Both hold the curve list that
+example emits: per (network, stages, traffic, buffer-mode) load ladders
+with a detected ``saturation_load`` (the first load where delivered
+throughput diverges from the open-loop offered rate).
+
+The script writes a GitHub-flavoured markdown summary to stdout (pipe it
+into ``$GITHUB_STEP_SUMMARY``) and emits ``::warning`` annotations when a
+curve's saturation point moved, appeared, or disappeared. Like the other
+delta scripts it is advisory: it never exits nonzero and never fails the
+job, because a moved knee may be an intentional grid or parameter change
+rather than a regression.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def curve_key(curve: dict) -> str:
+    return (
+        f"{curve['network']}/n={curve['stages']} "
+        f"{curve['traffic']} {curve['buffers']}"
+    )
+
+
+def load_saturation(path: pathlib.Path) -> dict:
+    """curve key -> saturation load (None = never saturated), from one
+    report file or the first stability*.json found under a directory."""
+    files = [path]
+    if path.is_dir():
+        files = sorted(path.rglob("stability*.json"))
+    for f in files:
+        try:
+            report = json.loads(f.read_text())
+            return {curve_key(c): c["saturation_load"] for c in report["curves"]}
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return {}
+
+
+def show(load) -> str:
+    return "never" if load is None else f"{load:.2f}"
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} PREVIOUS CURRENT", file=sys.stderr)
+        return 0
+    previous = load_saturation(pathlib.Path(sys.argv[1]))
+    current = load_saturation(pathlib.Path(sys.argv[2]))
+
+    print("## Saturation points vs. previous run\n")
+    if not current:
+        print("_No stability report was produced by this run._")
+        return 0
+    if not previous:
+        print("_No previous-run artifact available; showing current knees only._\n")
+        print("| curve | saturation load |")
+        print("|---|---:|")
+        for key in sorted(current):
+            print(f"| `{key}` | {show(current[key])} |")
+        return 0
+
+    moved = []
+    print("| curve | previous | current | change |")
+    print("|---|---:|---:|---|")
+    for key in sorted(set(current) | set(previous)):
+        cur = current.get(key)
+        prev = previous.get(key)
+        if key not in previous:
+            print(f"| `{key}` | — | {show(cur)} | new curve |")
+            continue
+        if key not in current:
+            print(f"| `{key}` | {show(prev)} | — | removed curve |")
+            continue
+        if prev == cur:
+            print(f"| `{key}` | {show(prev)} | {show(cur)} | unchanged |")
+            continue
+        print(f"| `{key}` | {show(prev)} | {show(cur)} | moved |")
+        moved.append((key, prev, cur))
+
+    if not moved:
+        print("\n_Saturation points unchanged._")
+
+    # Annotate (never fail) on any knee movement; a retuned grid is a
+    # legitimate cause, so this is advisory — the same policy as the bench
+    # and classification deltas.
+    for key, prev, cur in moved:
+        print(
+            f"::warning title=Saturation change::`{key}` saturation moved "
+            f"{show(prev)} -> {show(cur)}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

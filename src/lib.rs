@@ -76,8 +76,8 @@ pub mod prelude {
     pub use min_serve::{Master, MasterConfig, WorkerConfig};
     pub use min_sim::{
         assemble, execute_shard, run_campaign, simulate, BufferMode, CampaignConfig, CampaignPlan,
-        CampaignReport, FaultKind, FaultPlan, Shard, SimConfig, Simulator, SwitchCore,
-        TrafficPattern,
+        CampaignReport, FaultKind, FaultPlan, Shard, SimConfig, Simulator, SwitchCore, TraceData,
+        TraceRecord, TrafficPattern,
     };
 }
 

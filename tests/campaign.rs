@@ -7,6 +7,7 @@
 use baseline_equivalence::prelude::*;
 use min_sim::campaign::scenario_seed;
 use min_sim::TrafficPattern;
+use min_sim::{TraceData, TraceRecord};
 use proptest::prelude::*;
 
 fn wormhole() -> BufferMode {
@@ -111,6 +112,65 @@ fn campaigns_respect_the_buffer_mode() {
     assert!(json.contains("\"dropped_arbitration\""));
     assert!(json.contains("\"dropped_backpressure\""));
     assert!(json.contains("\"total_dropped_arbitration\""));
+}
+
+#[test]
+fn production_shaped_traffic_round_trips_through_the_report_json() {
+    // The full production-shaped suite on one grid: Zipf skew, bursty
+    // ON/OFF sources and trace replay, over all three switching cores.
+    let trace = TraceData {
+        cells: 4,
+        period: 6,
+        records: vec![
+            TraceRecord {
+                cycle: 0,
+                source: 1,
+                dest: 2,
+            },
+            TraceRecord {
+                cycle: 3,
+                source: 6,
+                dest: 0,
+            },
+        ],
+    };
+    let config = CampaignConfig::over_catalog(3..=3)
+        .with_seed(0xBEEF)
+        .with_traffic(vec![
+            TrafficPattern::Zipf { exponent: 0.9 },
+            TrafficPattern::OnOff {
+                on_dwell: 12.0,
+                off_dwell: 4.0,
+                on_rate: 0.8,
+            },
+            TrafficPattern::Trace(trace),
+        ])
+        .with_loads(vec![0.6])
+        .with_buffer_modes(vec![
+            BufferMode::Unbuffered,
+            BufferMode::Fifo(4),
+            wormhole(),
+        ])
+        .with_replications(2)
+        .with_cycles(90, 10);
+
+    let sequential = run_campaign(&config, 1).expect("sequential run");
+    let parallel = run_campaign(&config, 4).expect("parallel run");
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential.to_json(), parallel.to_json());
+
+    // The serialized report — traffic patterns included — parses back to
+    // the same value and re-renders to the same bytes.
+    let json = sequential.to_json();
+    let back = CampaignReport::from_json(&json).expect("report JSON parses");
+    assert_eq!(back, sequential);
+    assert_eq!(back.to_json(), json);
+
+    // Every pattern did real work on every core.
+    for r in &sequential.scenarios {
+        assert!(r.offered > 0, "{:?}", r.scenario);
+        assert!(r.delivered > 0, "{:?}", r.scenario);
+    }
 }
 
 proptest! {
